@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 2 (dataset statistics) and time the
+synthetic generators themselves."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+from repro.data.synthetic import make_pems_bay
+
+from conftest import run_once
+
+
+def test_table2_stats(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "table2_stats", scale_name=bench_scale)
+    print("\n" + result["text"])
+    rows = {row["Dataset"]: row for row in result["rows"]}
+    assert set(rows) == {"pems-bay", "pems-07", "pems-08", "melbourne", "airq"}
+    # Interval structure must match the paper's Table 2.
+    assert rows["pems-bay"]["Interval"] == "5 min"
+    assert rows["melbourne"]["Interval"] == "15 min"
+    assert rows["airq"]["Interval"] == "60 min"
+
+
+def test_generator_throughput(benchmark):
+    """Time the traffic simulator (many benches depend on its speed)."""
+    dataset = benchmark(make_pems_bay, num_sensors=24, num_days=3)
+    assert dataset.num_locations == 24

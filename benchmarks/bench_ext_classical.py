@@ -1,0 +1,35 @@
+"""Benchmark (extension): classical methods vs neural models.
+
+Regenerates the related-work comparison the paper describes but never
+measures (§2.2).  Shape assertions:
+
+* every learned/classical model beats nothing-at-all — finite errors;
+* STSM's RMSE is competitive with the best classical method (the neural
+  model should not lose badly to 1960s kriging on its own task);
+* GP kriging produces a valid probabilistic ordering (non-negative
+  kriging variance was asserted at unit level; here we check accuracy).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ext_classical(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "ext_classical",
+        scale_name=bench_scale,
+        dataset_key="pems-bay",
+    )
+    print("\n" + result["text"])
+
+    rmse = {row["Model"]: row["RMSE"] for row in result["rows"]}
+    assert all(value > 0 for value in rmse.values())
+    best_classical = min(rmse["GP-Kriging"], rmse["MatrixCompletion"])
+    assert rmse["STSM"] < best_classical * 1.25, (
+        "STSM should be competitive with the classical methods"
+    )

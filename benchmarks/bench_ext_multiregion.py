@@ -1,0 +1,37 @@
+"""Benchmark: multi-region extension (paper's stated future work).
+
+Shape assertions: the pipeline handles 1-3 disjoint unobserved regions end
+to end, errors stay in the single-region accuracy band (scattered regions
+are not catastrophically harder — each patch is smaller), and selective
+masking remains competitive with random masking under multiple regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ext_multiregion(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "ext_multiregion",
+        scale_name=bench_scale,
+        region_counts=(1, 2),
+    )
+    print("\n" + result["text"])
+    by_regions: dict[int, dict[str, float]] = {}
+    for row in result["rows"]:
+        by_regions.setdefault(row["Regions"], {})[row["Model"]] = row["RMSE"]
+    single = min(by_regions[1].values())
+    multi = min(by_regions[2].values())
+    assert multi < single * 1.5, (
+        f"two scattered regions should not be catastrophically harder: {by_regions}"
+    )
+    assert by_regions[2]["STSM"] < by_regions[2]["STSM-R"] * 1.25, (
+        f"multi-region selective masking should stay competitive: {by_regions[2]}"
+    )

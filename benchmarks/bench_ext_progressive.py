@@ -1,0 +1,43 @@
+"""Benchmark (extension): progressive sensor deployment.
+
+Regenerates the paper's §1 motivating scenario (staged deployment, the
+Hong Kong case) as a measured curve.  Shape assertions (see the
+experiment docstring for the mechanism):
+
+* the global IDW reference is never misled by deployment (flat to
+  improving, 5% tolerance);
+* the learned models recover from the half-deployment dip: final-stage
+  core RMSE is below the mid-stage RMSE;
+* STSM stays in INCREASE's accuracy band at every stage.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ext_progressive(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "ext_progressive",
+        scale_name=bench_scale,
+        dataset_key="pems-bay",
+    )
+    print("\n" + result["text"])
+
+    idw = result["core_rmse"]["IDW"]
+    assert all(later <= earlier * 1.05 for earlier, later in zip(idw, idw[1:])), (
+        "global IDW should never be misled by additional deployment"
+    )
+    for name in ("INCREASE", "STSM"):
+        curve = result["core_rmse"][name]
+        assert curve[-1] <= curve[1] * 1.05, (
+            f"{name}: completing deployment should recover the mid-stage dip"
+        )
+    stsm = result["core_rmse"]["STSM"]
+    increase = result["core_rmse"]["INCREASE"]
+    for stage, (ours, theirs) in enumerate(zip(stsm, increase)):
+        assert ours < theirs * 1.4, f"STSM should stay in band at stage {stage}"

@@ -1,0 +1,36 @@
+"""Benchmark (extension): robustness to missing-at-times training data.
+
+Shape assertions:
+
+* degradation is graceful: at every corruption rate each model's RMSE
+  stays within 25% of its clean-data RMSE (no cliff);
+* the models still produce sane forecasts (positive finite errors) at
+  40% missingness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ext_robustness(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "ext_robustness",
+        scale_name=bench_scale,
+        dataset_key="pems-bay",
+    )
+    print("\n" + result["text"])
+
+    for name, curve in result["curves"].items():
+        clean = curve[0]
+        assert clean > 0 and np.isfinite(curve).all()
+        for rate, rmse in zip(result["rates"], curve):
+            assert rmse <= clean * 1.25, (
+                f"{name} degrades too sharply at {rate:.0%} missingness"
+            )

@@ -1,0 +1,40 @@
+"""Benchmark (extension): prediction-interval quality for the unobserved
+region.
+
+Shape assertions:
+
+* every method's PICP is a proper fraction and its intervals have
+  positive width;
+* the ensemble's CRPS beats (or ties within 25%) MC dropout — ensembles
+  are the stronger predictive distribution in the UQ literature;
+* the GP's closed-form intervals achieve non-trivial coverage (> 0.3) and
+  cover far better than the epistemic-only neural intervals, which
+  under-cover when extrapolating into a sensor-free region.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_ext_uncertainty(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "ext_uncertainty",
+        scale_name=bench_scale,
+        dataset_key="pems-bay",
+    )
+    print("\n" + result["text"])
+
+    by_model = {row["Model"]: row for row in result["rows"]}
+    for row in result["rows"]:
+        assert 0.0 <= row["PICP"] <= 1.0
+        assert row["MPIW"] > 0.0
+    assert (
+        by_model["STSM-Ensemble"]["CRPS"] <= by_model["STSM-MCDropout"]["CRPS"] * 1.25
+    )
+    assert by_model["GP-Kriging"]["PICP"] > 0.3
+    assert by_model["GP-Kriging"]["PICP"] > by_model["STSM-MCDropout"]["PICP"]

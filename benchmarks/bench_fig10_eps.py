@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 10 (impact of the sub-graph threshold ε_sg).
+
+Shape assertion: STSM is robust to ε_sg — RMSE fluctuations across the
+threshold sweep are small relative to the observation magnitude, as the
+paper reports for the freeway datasets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig10_eps(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "fig10_eps",
+        scale_name=bench_scale,
+        models=["STSM", "STSM-RNC"],
+        thresholds=(0.4, 0.6, 0.8),
+    )
+    print("\n" + result["text"])
+    for model in ("STSM", "STSM-RNC"):
+        rmses = [row["RMSE"] for row in result["rows"] if row["Model"] == model]
+        spread = (max(rmses) - min(rmses)) / min(rmses)
+        assert spread < 0.6, f"{model} eps_sg sweep too volatile: spread={spread:.2f}"

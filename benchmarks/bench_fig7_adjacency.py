@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (adjacency sparsity structure).
+
+Shape assertion: A_sg (the sub-graph matrix, higher threshold) is sparser
+than A_s — the paper's "more blank space" observation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig7_adjacency(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "fig7_adjacency", scale_name=bench_scale)
+    print("\n" + result["text"])
+    assert result["a_sg_sparser"], "A_sg must be sparser than A_s (paper Fig. 7)"
+    densities = {row["Matrix"]: row["Density"] for row in result["rows"]}
+    assert 0.0 < densities["A_s"] < 0.6, "A_s should be sparse but non-empty"

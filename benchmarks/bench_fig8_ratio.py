@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 8 (RMSE vs unobserved ratio).
+
+Shape assertion: STSM's RMSE stays at or below INCREASE's on most points
+of the sweep (the paper allows one exception across all datasets).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig8_ratio(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "fig8_ratio",
+        scale_name=bench_scale,
+        datasets=["pems-bay"],
+        ratios=(0.3, 0.5),
+    )
+    print("\n" + result["text"])
+    by_ratio: dict[float, dict[str, float]] = {}
+    for row in result["rows"]:
+        by_ratio.setdefault(row["Ratio"], {})[row["Model"]] = row["RMSE"]
+    wins = sum(1 for r in by_ratio.values() if r["STSM"] <= r["INCREASE"] * 1.10)
+    assert wins >= len(by_ratio) - 1, (
+        f"STSM should track/beat INCREASE across ratios, got {by_ratio}"
+    )

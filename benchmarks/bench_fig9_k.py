@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 9 (impact of top-K).
+
+Shape assertion: STSM is robust to K on the freeway dataset — the RMSE
+spread across the K sweep stays within a moderate band of its best value
+(the paper shows near-flat curves on PEMS-Bay).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig9_k(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_experiment,
+        "fig9_k",
+        scale_name=bench_scale,
+        models=["STSM"],
+        ks=(4, 8, 12),
+    )
+    print("\n" + result["text"])
+    rmses = [row["RMSE"] for row in result["rows"] if row["Model"] == "STSM"]
+    spread = (max(rmses) - min(rmses)) / min(rmses)
+    assert spread < 0.5, f"K sweep should be reasonably flat, spread={spread:.2f}"

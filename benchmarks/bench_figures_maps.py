@@ -1,0 +1,38 @@
+"""Benchmarks: regenerate Figures 5, 6 and 11 (sensor maps, partitioning).
+
+Shape assertions: each dataset renders a non-degenerate sensor map; the
+partition map carries all three marker classes; the ring split's mean
+radii are ordered train < validation < test (centre outward).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_fig5_sensor_maps(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "fig5_sensor_maps", scale_name=bench_scale)
+    print("\n" + result["text"])
+    assert set(result["maps"]) == {"pems-bay", "pems-07", "pems-08", "melbourne", "airq"}
+    for key, art in result["maps"].items():
+        assert art.count("o") >= 5, f"{key} map should show sensors"
+
+
+def test_fig6_partitioning(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "fig6_partitioning", scale_name=bench_scale)
+    print("\n" + result["text"])
+    counts = {row["Set"]: row["Locations"] for row in result["rows"]}
+    assert counts["train"] > counts["validation"]
+    assert counts["test"] >= counts["train"]  # 4:1:5 proportions
+    assert "T" in result["text"] and "U" in result["text"]
+
+
+def test_fig11_ring_map(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "fig11_ring_map", scale_name=bench_scale)
+    print("\n" + result["text"])
+    radii = result["radii"]
+    assert radii["train"] < radii["validation"] < radii["test"], (
+        f"ring split must grow outward: {radii}"
+    )

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 6 (varying the number of sensors).
+
+Shape assertion: STSM beats GE-GAN and IGNNK on RMSE at every sensor
+count, and stays within 10% of INCREASE (the paper shows STSM leading on
+RMSE/R² at all four sizes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table6_sensors(benchmark, bench_scale):
+    result = run_once(
+        benchmark, run_experiment, "table6_sensors", scale_name=bench_scale, partitions=3
+    )
+    print("\n" + result["text"])
+    by_count: dict[int, dict[str, float]] = {}
+    for row in result["rows"]:
+        by_count.setdefault(row["#Sensors"], {})[row["Model"]] = row["RMSE"]
+    for count, rmse in by_count.items():
+        assert rmse["STSM"] < rmse["GE-GAN"] * 1.05, f"STSM vs GE-GAN at {count} sensors"
+        assert rmse["STSM"] < rmse["IGNNK"] * 1.05, f"STSM vs IGNNK at {count} sensors"
+        assert rmse["STSM"] < rmse["INCREASE"] * 1.15, f"STSM vs INCREASE at {count} sensors"

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 7 (varying the density of sensors).
+
+Shape assertion: STSM beats GE-GAN/IGNNK at every density and is
+competitive with INCREASE across densities (paper: best in 19/20 cells).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table7_density(benchmark, bench_scale):
+    counts = (16, 24, 32) if bench_scale != "paper" else None
+    result = run_once(
+        benchmark, run_experiment, "table7_density", scale_name=bench_scale, counts=counts
+    )
+    print("\n" + result["text"])
+    by_count: dict[int, dict[str, float]] = {}
+    for row in result["rows"]:
+        by_count.setdefault(row["#Sensors"], {})[row["Model"]] = row["RMSE"]
+    for count, rmse in by_count.items():
+        assert rmse["STSM"] < rmse["GE-GAN"] * 1.05, f"STSM vs GE-GAN at {count} sensors"
+        assert rmse["STSM"] < rmse["IGNNK"] * 1.05, f"STSM vs IGNNK at {count} sensors"
+        assert rmse["STSM"] < rmse["INCREASE"] * 1.15, f"STSM vs INCREASE at {count} sensors"

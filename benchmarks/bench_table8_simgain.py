@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 8 (similarity gain of selective masking).
+
+Shape assertion: selective masking yields a higher mean similarity to the
+unobserved region than random masking on a majority of datasets (the paper
+reports positive gains on all five; small-scale POI fields are noisier, so
+we require >= 4/5 positive and a positive mean).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table8_simgain(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "table8_simgain", scale_name=bench_scale)
+    print("\n" + result["text"])
+    gains = [row["Gain%"] for row in result["rows"]]
+    assert sum(g > 0 for g in gains) >= len(gains) - 1, f"gains mostly positive, got {gains}"
+    assert np.mean(gains) > 0, f"mean gain should be positive, got {gains}"

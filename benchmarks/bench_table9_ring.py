@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 9 (ring space split on PEMS-Bay).
+
+Shape assertion: STSM beats GE-GAN and IGNNK under the ring split and
+stays competitive with INCREASE (paper: STSM wins all four metrics).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from conftest import run_once
+
+
+def test_table9_ring(benchmark, bench_scale):
+    result = run_once(benchmark, run_experiment, "table9_ring", scale_name=bench_scale)
+    print("\n" + result["text"])
+    rmse = {row["Model"]: row["RMSE"] for row in result["rows"]}
+    assert rmse["STSM"] < rmse["GE-GAN"] * 1.05
+    assert rmse["STSM"] < rmse["IGNNK"] * 1.05
+    assert rmse["STSM"] < rmse["INCREASE"] * 1.15

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at the
+``bench`` scale (tiny datasets, single split, short budgets) so the whole
+suite finishes on a laptop CPU.  Set ``REPRO_BENCH_SCALE=small`` (or
+``paper``) to rerun them at larger scales.
+
+Every benchmark prints the regenerated table and asserts the paper's
+qualitative "shape" (who wins, trend directions); timings are captured by
+pytest-benchmark as the cost of regenerating that artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Scale tier for benchmark runs (env-overridable)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

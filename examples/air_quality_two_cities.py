@@ -1,0 +1,82 @@
+"""Scenario: a city without open air-quality data.
+
+The paper's motivating case (3): one of two adjacent cities publishes
+PM2.5 readings, the other does not.  We simulate the Beijing/Tianjin-style
+two-cluster network, treat the second city as unobserved, and forecast its
+next 24 hours — including how well regional pollution episodes (the
+heavy-tailed peaks) are anticipated.
+
+Run:  python examples/air_quality_two_cities.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import HistoricalAverageForecaster, IDWPersistenceForecaster
+from repro.core import make_stsm
+from repro.data import SpaceSplit, WindowSpec
+from repro.data.synthetic import make_airq
+from repro.evaluation import compute_metrics, evaluate_forecaster, forecast_window_starts
+
+
+def two_city_split(dataset) -> SpaceSplit:
+    """Observed = western city; unobserved = eastern city."""
+    x = dataset.coords[:, 0]
+    threshold = (x.min() + x.max()) / 2
+    west = np.flatnonzero(x < threshold)
+    east = np.flatnonzero(x >= threshold)
+    # Keep the paper's 4:1 train/validation proportion inside the west city.
+    order = west[np.argsort(dataset.coords[west, 0])]
+    cut = max(1, int(round(len(order) * 0.8)))
+    return SpaceSplit(
+        train=np.sort(order[:cut]),
+        validation=np.sort(order[cut:]),
+        test=np.sort(east),
+        name="two-city",
+    )
+
+
+def main() -> None:
+    dataset = make_airq(num_sensors=24, num_days=40)
+    print(f"dataset: {dataset.describe()}")
+    split = two_city_split(dataset)
+    print(f"observed city: {len(split.observed)} stations; "
+          f"unobserved city: {len(split.unobserved)} stations")
+
+    spec = WindowSpec(input_length=24, horizon=24)  # 24 h in / 24 h out
+    model = make_stsm("airq", hidden_dim=16, epochs=15, patience=5,
+                      batch_size=16, window_stride=2)
+    result = evaluate_forecaster(model, dataset, split, spec, max_test_windows=12)
+    print(f"\nSTSM               {result.metrics}")
+
+    # Context: forecasting a whole city with zero history is hard — even
+    # strong models may carry a level offset.  The naive references show
+    # where the floor is (the paper's AirQ R² values are near zero too).
+    for reference in (HistoricalAverageForecaster(), IDWPersistenceForecaster()):
+        ref = evaluate_forecaster(reference, dataset, split, spec, max_test_windows=12)
+        print(f"{reference.name:<18} {ref.metrics}")
+
+    # Episode detection: can the model see high-pollution hours coming?
+    starts = forecast_window_starts(dataset, spec, max_windows=12)
+    predictions = model.predict(starts)
+    truth = np.stack(
+        [
+            dataset.values[s + spec.input_length : s + spec.total][:, split.unobserved]
+            for s in starts
+        ]
+    )
+    threshold = np.percentile(dataset.values[:, split.observed], 85)
+    episode = truth > threshold
+    if episode.any():
+        hit_rate = float((predictions[episode] > threshold * 0.8).mean())
+        episode_metrics = compute_metrics(predictions[episode], truth[episode])
+        print(f"\nepisode hours (> {threshold:.0f} µg/m³): {int(episode.sum())}")
+        print(f"episode hit rate (pred > 80% of threshold): {hit_rate:.1%}")
+        print(f"episode-only errors: {episode_metrics}")
+    else:
+        print("\nno pollution episodes in the evaluated windows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Planning a staged sensor roll-out with STSM.
+
+Scenario (the paper's §1 motivation, observed in Hong Kong): a city
+deploys sensors region by region.  The southern base already has sensors;
+a corridor towards the northern core comes online in stages; the core
+itself will stay sensor-free for years.  At each stage the city wants
+forecasts for the core — and wants to know what the next deployment batch
+buys.
+
+The run prints core-forecast error per stage for three predictors and
+usually shows a counter-intuitive shape: the half-deployed stage can be
+WORSE than no deployment for locality-based methods, because the newly
+sensed corridor zone behaves differently from the core (arterial vs local
+roads).  Proximity is not similarity — the observation that motivates
+STSM's selective masking.
+
+Run:  python examples/progressive_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import IDWPersistenceForecaster, INCREASEForecaster
+from repro.core import make_stsm
+from repro.data import WindowSpec, progressive_splits
+from repro.data.synthetic import make_pems_bay
+from repro.evaluation import compute_metrics, forecast_window_starts
+
+STAGES = (0.0, 0.5, 1.0)
+FAST_STSM = dict(hidden_dim=16, epochs=12, patience=4, batch_size=16,
+                 window_stride=4, top_k=8)
+
+
+def main() -> None:
+    dataset = make_pems_bay(num_sensors=32, num_days=4)
+    spec = WindowSpec(input_length=12, horizon=12)
+    splits, core = progressive_splits(dataset.coords, "horizontal", stages=STAGES)
+    starts = forecast_window_starts(dataset, spec, max_windows=12)
+    core_truth = np.stack(
+        [dataset.values[s + spec.input_length : s + spec.total][:, core] for s in starts]
+    )
+    train_ix = np.arange(int(round(dataset.num_steps * 0.7)))
+
+    print(f"core region: {len(core)} sensors that never come online\n")
+    header = f"{'stage':>6} {'observed':>9} {'IDW':>8} {'INCREASE':>9} {'STSM':>8}"
+    print(header)
+    print("-" * len(header))
+
+    for stage, split in zip(STAGES, splits):
+        positions = np.searchsorted(split.unobserved, core)
+        rmse = {}
+        for name, model in (
+            ("IDW", IDWPersistenceForecaster()),
+            ("INCREASE", INCREASEForecaster(iterations=150)),
+            ("STSM", make_stsm("pems-bay", **FAST_STSM)),
+        ):
+            model.fit(dataset, split, spec, train_ix)
+            predictions = model.predict(starts)[:, :, positions]
+            rmse[name] = compute_metrics(predictions, core_truth).rmse
+        print(
+            f"{stage:>6.0%} {len(split.observed):>9} {rmse['IDW']:>8.2f} "
+            f"{rmse['INCREASE']:>9.2f} {rmse['STSM']:>8.2f}"
+        )
+
+    print(
+        "\nIf the mid-stage numbers are worse than stage 0, the newly sensed "
+        "corridor zone is dissimilar to the core: proximity misleads, and "
+        "global or similarity-weighted aggregation is safer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Prediction intervals for a region without sensors.
+
+Point forecasts answer "what will traffic be?"; deployment decisions
+("can we skip installing sensors here?") also need "how wrong might we
+be?".  This example builds three predictive distributions for the same
+unobserved district — MC-dropout STSM, a seed ensemble of STSM, and
+classical GP kriging — and scores their 80% intervals.
+
+Take-away printed at the end: the neural intervals are sharp but badly
+under-cover (they ignore the irreducible error of extrapolating into a
+sensor-free region), while the GP's distance-aware variance is wide but
+honest.  If you need calibrated bands out of the box, start from the GP
+or recalibrate the neural intervals.
+
+Run:  python examples/uncertainty_intervals.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import GPKrigingForecaster
+from repro.core import DeepEnsembleForecaster, MCDropoutForecaster, make_stsm
+from repro.data import WindowSpec, space_split, temporal_split
+from repro.evaluation import evaluate_intervals, forecast_window_starts, stack_truth
+from repro.data.synthetic import make_pems_bay
+
+COVERAGE = 0.8
+FAST = dict(hidden_dim=16, epochs=10, patience=4, batch_size=16,
+            window_stride=4, top_k=8, dropout=0.2)
+
+
+def make_member(seed: int):
+    return make_stsm("pems-bay", seed=seed, **FAST)
+
+
+def main() -> None:
+    dataset = make_pems_bay(num_sensors=28, num_days=4)
+    split = space_split(dataset.coords, "horizontal")
+    spec = WindowSpec(input_length=12, horizon=12)
+    train_ix, _ = temporal_split(dataset.num_steps)
+    starts = forecast_window_starts(dataset, spec, max_windows=12)
+    truth = stack_truth(dataset, split, spec, starts)
+
+    print(f"{len(split.unobserved)} unobserved sensors, "
+          f"{len(starts)} test windows, nominal coverage {COVERAGE:.0%}\n")
+    header = f"{'model':<18} {'PICP':>6} {'MPIW':>8} {'Winkler':>9} {'CRPS':>7}"
+    print(header)
+    print("-" * len(header))
+
+    # 1. MC dropout: one model, stochastic passes.
+    mc_model = MCDropoutForecaster(make_member(0), num_samples=12)
+    mc_model.fit(dataset, split, spec, train_ix)
+    mc = evaluate_intervals(mc_model.predict_samples(starts), truth, COVERAGE)
+    print(f"{'STSM MC-dropout':<18} {mc.picp:>6.2f} {mc.mpiw:>8.2f} "
+          f"{mc.winkler:>9.2f} {mc.crps:>7.2f}")
+
+    # 2. Deep ensemble: three independently seeded members.
+    ensemble = DeepEnsembleForecaster(make_member, num_members=3)
+    ensemble.fit(dataset, split, spec, train_ix)
+    en = evaluate_intervals(ensemble.predict_samples(starts), truth, COVERAGE)
+    print(f"{'STSM ensemble':<18} {en.picp:>6.2f} {en.mpiw:>8.2f} "
+          f"{en.winkler:>9.2f} {en.crps:>7.2f}")
+
+    # 3. GP kriging: closed-form Gaussian predictive; sample it so all
+    #    three methods run through the identical scoring path.
+    gp = GPKrigingForecaster()
+    gp.fit(dataset, split, spec, train_ix)
+    mean, variance = gp.predict_with_variance(starts)
+    sigma = np.sqrt(variance) * gp.scaler.std_
+    rng = np.random.default_rng(0)
+    samples = mean[None] + rng.standard_normal((32,) + mean.shape) * sigma
+    gpm = evaluate_intervals(samples, truth, COVERAGE)
+    print(f"{'GP kriging':<18} {gpm.picp:>6.2f} {gpm.mpiw:>8.2f} "
+          f"{gpm.winkler:>9.2f} {gpm.crps:>7.2f}")
+
+    print(
+        "\nReading the table: PICP should sit near the nominal "
+        f"{COVERAGE:.0%}.  The neural intervals are sharp (small MPIW) but "
+        "under-cover; the GP trades width for honesty and usually wins the "
+        "Winkler score, which prices both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,318 @@
+"""Functional operations on :class:`~repro.autograd.tensor.Tensor`.
+
+These complement the methods on ``Tensor`` with multi-input ops
+(concatenate, stack, where, elementwise max), stabilised softmax variants,
+dropout, embedding lookup, and the dilated 1-D convolution used by the
+paper's temporal module (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "concatenate",
+    "stack",
+    "pad",
+    "where",
+    "maximum",
+    "minimum",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "embedding",
+    "conv1d",
+    "clip_values",
+    "leaky_relu",
+    "elu",
+    "gelu",
+    "softplus",
+]
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (adjoint: split the gradient)."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.split(grad, len(tensors), axis=axis)
+        for tensor, slab in zip(tensors, slabs):
+            tensor._accumulate(np.squeeze(slab, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad(tensor: Tensor, pad_width, constant: float = 0.0) -> Tensor:
+    """Zero (or constant) padding; the adjoint slices the gradient back."""
+    tensor = as_tensor(tensor)
+    out_data = np.pad(tensor.data, pad_width, constant_values=constant)
+    slices = tuple(
+        slice(before, before + n) for (before, _after), n in zip(pad_width, tensor.shape)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad[slices])
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a constant boolean array."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        from .tensor import _unbroadcast
+
+        a._accumulate(_unbroadcast(grad * cond, a.shape))
+        b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise max of two tensors; ties split the gradient equally."""
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        from .tensor import _unbroadcast
+
+        a_wins = (a.data > b.data).astype(grad.dtype)
+        b_wins = (b.data > a.data).astype(grad.dtype)
+        tie = (a.data == b.data).astype(grad.dtype) * 0.5
+        a._accumulate(_unbroadcast(grad * (a_wins + tie), a.shape))
+        b._accumulate(_unbroadcast(grad * (b_wins + tie), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise min of two tensors; ties split the gradient equally."""
+    return -maximum(-as_tensor(a), -as_tensor(b))
+
+
+def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stabilised softmax along ``axis``."""
+    tensor = as_tensor(tensor)
+    shifted = tensor.data - tensor.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        tensor._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stabilised log-softmax along ``axis``."""
+    tensor = as_tensor(tensor)
+    shifted = tensor.data - tensor.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def dropout(tensor: Tensor, rate: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept units by ``1 / (1 - rate)`` at train time."""
+    tensor = as_tensor(tensor)
+    if not training or rate <= 0.0:
+        return tensor
+    if rate >= 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    keep = 1.0 - rate
+    mask = (rng.random(tensor.shape) < keep).astype(tensor.dtype) / keep
+    out_data = tensor.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup ``table[indices]`` with scatter-add adjoint."""
+    table = as_tensor(table)
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = table.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(table.data)
+        np.add.at(full, idx, grad)
+        table._accumulate(full)
+
+    return Tensor._make(np.array(out_data, copy=True), (table,), backward)
+
+
+def clip_values(tensor: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values; the gradient passes only through the unclipped region."""
+    tensor = as_tensor(tensor)
+    out_data = np.clip(tensor.data, low, high)
+    mask = ((tensor.data >= low) & (tensor.data <= high)).astype(tensor.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def leaky_relu(tensor: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """``x`` for positive inputs, ``slope * x`` otherwise (GAT's default 0.2)."""
+    tensor = as_tensor(tensor)
+    positive = tensor.data > 0
+    out_data = np.where(positive, tensor.data, negative_slope * tensor.data)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad * np.where(positive, 1.0, negative_slope))
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def elu(tensor: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit: ``x`` if positive else ``α (eˣ − 1)``."""
+    tensor = as_tensor(tensor)
+    positive = tensor.data > 0
+    exp_term = alpha * (np.exp(np.minimum(tensor.data, 0.0)) - 1.0)
+    out_data = np.where(positive, tensor.data, exp_term)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad * np.where(positive, 1.0, exp_term + alpha))
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def gelu(tensor: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    tensor = as_tensor(tensor)
+    x = tensor.data
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x + 0.044715 * x ** 3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner ** 2
+        d_inner = c * (1.0 + 3.0 * 0.044715 * x ** 2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+        tensor._accumulate(grad * local)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def softplus(tensor: Tensor, beta: float = 1.0) -> Tensor:
+    """``log(1 + exp(βx)) / β`` — a smooth ReLU; stable for large inputs."""
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    tensor = as_tensor(tensor)
+    scaled = beta * tensor.data
+    # log1p(exp(s)) = max(s, 0) + log1p(exp(-|s|)) avoids overflow; the
+    # sigmoid below uses the same trick for its exp.
+    out_data = (np.maximum(scaled, 0.0) + np.log1p(np.exp(-np.abs(scaled)))) / beta
+    exp_neg = np.exp(-np.abs(scaled))
+    sig = np.where(scaled >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(grad * sig)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def _conv1d_output_length(length: int, kernel: int, dilation: int, padding: int) -> int:
+    effective = (kernel - 1) * dilation + 1
+    return length + 2 * padding - effective + 1
+
+
+def conv1d(
+    inputs: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    dilation: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Dilated 1-D convolution (the paper's TCN primitive, Eq. 5).
+
+    Parameters
+    ----------
+    inputs:
+        ``(batch, channels_in, length)``.
+    weight:
+        ``(channels_out, channels_in, kernel)``.
+    bias:
+        Optional ``(channels_out,)``.
+    dilation:
+        Spacing between kernel taps (paper uses ``2**j``).
+    padding:
+        Symmetric zero padding applied to the length axis.
+
+    Returns
+    -------
+    Tensor
+        ``(batch, channels_out, length_out)``.
+    """
+    inputs = as_tensor(inputs)
+    weight = as_tensor(weight)
+    batch, c_in, length = inputs.shape
+    c_out, c_in_w, kernel = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    out_len = _conv1d_output_length(length, kernel, dilation, padding)
+    if out_len <= 0:
+        raise ValueError(
+            f"conv1d output length would be {out_len} "
+            f"(length={length}, kernel={kernel}, dilation={dilation}, padding={padding})"
+        )
+
+    padded = np.pad(inputs.data, ((0, 0), (0, 0), (padding, padding))) if padding else inputs.data
+    # Gather taps: cols[b, c, k, t] = padded[b, c, t + k * dilation]
+    tap_index = np.arange(out_len)[None, :] + dilation * np.arange(kernel)[:, None]
+    cols = padded[:, :, tap_index]  # (batch, c_in, kernel, out_len)
+    w = weight.data  # (c_out, c_in, kernel)
+    out_data = np.einsum("bckt,ock->bot", cols, w, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+
+    parents: tuple[Tensor, ...] = (inputs, weight) if bias is None else (inputs, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (batch, c_out, out_len)
+        grad_w = np.einsum("bot,bckt->ock", grad, cols, optimize=True)
+        weight._accumulate(grad_w)
+        if bias is not None:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        grad_cols = np.einsum("bot,ock->bckt", grad, w, optimize=True)
+        grad_padded = np.zeros_like(padded)
+        np.add.at(grad_padded, (slice(None), slice(None), tap_index), grad_cols)
+        if padding:
+            grad_padded = grad_padded[:, :, padding:-padding]
+        inputs._accumulate(grad_padded)
+
+    return Tensor._make(out_data, parents, backward)

@@ -1,0 +1,421 @@
+"""The STSM forecaster: training (§3.5, §4) and testing procedures.
+
+Training (per epoch):
+
+1. draw a mask over observed locations — selectively (§4.1) or randomly
+   (§3.3) depending on the configuration;
+2. replace masked columns with IDW pseudo-observations (Eq. 3);
+3. rebuild the temporal-similarity adjacency ``A_dtw^train`` (the mask
+   changed, §3.4.1);
+4. minimise ``L = L_pred + λ L_cl`` (Eq. 18) over shuffled window batches,
+   where ``L_pred`` is the MSE over the masked view's predictions (Eq. 14)
+   and ``L_cl`` the NT-Xent loss between the original and masked views'
+   graph representations (Eq. 17).
+
+Early stopping monitors RMSE on the validation locations (treated as
+masked, mirroring test conditions).
+
+Testing (§3.5): pseudo-observations fill the unobserved columns of the
+full graph, ``A_dtw`` is rebuilt with observed→unobserved one-way edges,
+and the trained network predicts the horizon for every requested window.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..data.dataset import SpatioTemporalDataset
+from ..data.scalers import StandardScaler
+from ..data.splits import SpaceSplit
+from ..data.windows import WindowSpec, iterate_batches
+from ..graph.adjacency import gaussian_kernel_adjacency, gcn_normalise
+from ..graph.distances import euclidean_distance_matrix
+from ..interfaces import FitReport, Forecaster
+from ..nn import mse_loss, nt_xent_loss
+from ..optim import Adam, clip_grad_norm
+from ..temporal import build_dtw_adjacency, normalised_time_encoding
+from .config import STSMConfig
+from .features import compute_subgraph_similarity
+from .masking import SelectiveMasker, random_subgraph_mask
+from .multiregion import multi_region_similarity
+from .network import STSMNetwork
+from .pseudo import fill_pseudo_observations
+
+__all__ = ["STSMForecaster", "compute_distance_matrices"]
+
+
+def compute_distance_matrices(
+    dataset: SpatioTemporalDataset, mode: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Distance matrices for (adjacency construction, pseudo-observations).
+
+    ``mode`` follows Table 11: ``"euclidean"`` uses Euclidean for both,
+    ``"road_adj_only"`` (STSM-rd-m) uses road distances for the adjacency
+    matrices only, ``"road_all"`` (STSM-rd-a) for both.
+    """
+    euclidean = euclidean_distance_matrix(dataset.coords)
+    if mode == "euclidean":
+        return euclidean, euclidean
+    if dataset.road_network is None:
+        raise ValueError(f"distance mode {mode!r} requires a road network on the dataset")
+    road = dataset.road_network.shortest_path_distance_matrix(dataset.coords)
+    finite = road[np.isfinite(road)]
+    ceiling = (finite.max() if finite.size else 1.0) * 2.0
+    road = np.where(np.isfinite(road), road, ceiling)
+    if mode == "road_adj_only":
+        return road, euclidean
+    if mode == "road_all":
+        return road, road
+    raise ValueError(f"unknown distance mode {mode!r}")
+
+
+class STSMForecaster(Forecaster):
+    """STSM and its ablation variants behind the common interface.
+
+    The configuration toggles select the paper's variants; see
+    :mod:`repro.core.variants` for ready-made constructors.
+    """
+
+    def __init__(self, config: STSMConfig | None = None, name: str = "STSM") -> None:
+        self.config = config if config is not None else STSMConfig()
+        self.config.validate()
+        self.name = name
+        self.network: STSMNetwork | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: SpatioTemporalDataset,
+        split: SpaceSplit,
+        spec: WindowSpec,
+        train_steps: np.ndarray,
+    ) -> FitReport:
+        started = time.perf_counter()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        self.dataset = dataset
+        self.split = split
+        self.spec = spec
+        observed = split.observed
+        unobserved = split.unobserved
+        n_obs = len(observed)
+        if n_obs < 3:
+            raise ValueError("need at least 3 observed locations to train STSM")
+
+        # --- static geometry -------------------------------------------------
+        dist_adj, dist_pseudo = compute_distance_matrices(dataset, cfg.distance_mode)
+        self._dist_pseudo = dist_pseudo
+        off_diagonal = dist_adj[~np.eye(len(dist_adj), dtype=bool)]
+        sigma = max(float(off_diagonal.std()) * cfg.sigma_scale, 1e-9)
+        a_s_full = gaussian_kernel_adjacency(dist_adj, threshold=cfg.epsilon_s, sigma=sigma)
+        a_sg_full = gaussian_kernel_adjacency(dist_adj, threshold=cfg.epsilon_sg, sigma=sigma)
+        self._a_s_full = a_s_full
+        obs_ix = np.ix_(observed, observed)
+        a_s_train = a_s_full[obs_ix]
+        a_sg_train = a_sg_full[obs_ix]
+
+        # --- scaling ---------------------------------------------------------
+        train_values_raw = dataset.values[train_steps][:, observed]
+        self.scaler = StandardScaler().fit(train_values_raw)
+        scaled_full = self.scaler.transform(dataset.values)
+        self._scaled_full = scaled_full
+        scaled_obs_train = scaled_full[np.ix_(train_steps, observed)]
+
+        # --- masking strategy -------------------------------------------------
+        if cfg.selective_masking:
+            if cfg.num_unobserved_regions > 1:
+                similarity = multi_region_similarity(
+                    dataset.features, dataset.coords, a_sg_full,
+                    observed, unobserved, cfg.num_unobserved_regions,
+                )
+            else:
+                similarity = compute_subgraph_similarity(
+                    dataset.features, dataset.coords, a_sg_full, observed, unobserved
+                )
+            masker = SelectiveMasker(
+                similarity, a_sg_train, cfg.mask_ratio, top_k=cfg.top_k
+            )
+            self.masking_probabilities = masker.probabilities
+            draw_mask = lambda: masker.draw(rng)  # noqa: E731 - tiny closure
+        else:
+            self.masking_probabilities = None
+            draw_mask = lambda: random_subgraph_mask(a_sg_train, cfg.mask_ratio, rng)  # noqa: E731
+
+        # --- network & optimiser ----------------------------------------------
+        self.network = STSMNetwork(cfg, horizon=spec.horizon, input_length=spec.input_length)
+        optimiser = Adam(self.network.parameters(), lr=cfg.learning_rate)
+
+        # --- static adjacency for the original (complete) view -----------------
+        a_s_train_t = Tensor(gcn_normalise(a_s_train))
+        a_dtw_orig = build_dtw_adjacency(
+            scaled_obs_train,
+            observed_index=np.arange(n_obs),
+            target_index=None,
+            steps_per_day=dataset.steps_per_day,
+            num_nodes=n_obs,
+            q_kk=cfg.q_kk,
+            q_ku=cfg.q_ku,
+            resolution=cfg.dtw_resolution,
+        )
+        a_dtw_orig_t = Tensor(gcn_normalise(a_dtw_orig))
+
+        # --- training windows ---------------------------------------------------
+        usable = len(train_steps) - spec.total
+        if usable < 1:
+            raise ValueError(
+                f"training period of {len(train_steps)} steps cannot fit a "
+                f"{spec.total}-step window"
+            )
+        starts = np.arange(0, usable + 1, cfg.window_stride)
+        steps_per_day = dataset.steps_per_day
+
+        # --- validation setup: mask the validation locations -------------------
+        val_local = np.searchsorted(observed, split.validation)
+        train_local = np.searchsorted(observed, split.train)
+        val_filled = fill_pseudo_observations(
+            scaled_full[train_steps][:, observed],
+            dist_pseudo[obs_ix],
+            target_index=val_local,
+            source_index=train_local,
+            k=cfg.pseudo_k,
+        )
+        a_dtw_val = build_dtw_adjacency(
+            val_filled,
+            observed_index=train_local,
+            target_index=val_local,
+            steps_per_day=steps_per_day,
+            num_nodes=n_obs,
+            q_kk=cfg.q_kk,
+            q_ku=cfg.q_ku,
+            resolution=cfg.dtw_resolution,
+        )
+        a_dtw_val_t = Tensor(gcn_normalise(a_dtw_val))
+        val_stride = max(1, (usable + 1) // 16)
+        val_starts = np.arange(0, usable + 1, val_stride)
+
+        history: list[float] = []
+        best_val = np.inf
+        best_state = None
+        patience_left = cfg.patience
+
+        for epoch in range(cfg.epochs):
+            mask_local = draw_mask()
+            source_local = np.setdiff1d(np.arange(n_obs), mask_local)
+            filled = fill_pseudo_observations(
+                scaled_full[:, observed],
+                dist_pseudo[obs_ix],
+                target_index=mask_local,
+                source_index=source_local,
+                k=cfg.pseudo_k,
+            )
+            a_dtw_train = build_dtw_adjacency(
+                filled[train_steps],
+                observed_index=source_local,
+                target_index=mask_local,
+                steps_per_day=steps_per_day,
+                num_nodes=n_obs,
+                q_kk=cfg.q_kk,
+                q_ku=cfg.q_ku,
+                resolution=cfg.dtw_resolution,
+            )
+            a_dtw_train_t = Tensor(gcn_normalise(a_dtw_train))
+
+            self.network.train()
+            epoch_loss = 0.0
+            num_batches = 0
+            need_negatives = cfg.contrastive
+            for batch_starts in iterate_batches(
+                starts, cfg.batch_size, rng=rng, drop_last=need_negatives
+            ):
+                x_masked, te, y = self._make_batch(filled, scaled_full[:, observed], batch_starts, train_steps)
+                optimiser.zero_grad()
+                predictions, z_masked = self.network(x_masked, te, a_s_train_t, a_dtw_train_t)
+                loss = mse_loss(predictions, y)
+                if cfg.contrastive and len(batch_starts) >= 2:
+                    x_orig = self._window_tensor(scaled_full[:, observed], batch_starts, train_steps)
+                    _, z_orig = self.network(x_orig, te, a_s_train_t, a_dtw_orig_t)
+                    loss = loss + cfg.contrastive_weight * nt_xent_loss(
+                        z_orig, z_masked, temperature=cfg.temperature
+                    )
+                loss.backward()
+                clip_grad_norm(self.network.parameters(), cfg.grad_clip)
+                optimiser.step()
+                epoch_loss += loss.item()
+                num_batches += 1
+            history.append(epoch_loss / max(num_batches, 1))
+
+            val_rmse = self._validation_rmse(
+                val_filled, val_starts, val_local, a_s_train_t, a_dtw_val_t, train_steps
+            )
+            if val_rmse < best_val - 1e-9:
+                best_val = val_rmse
+                best_state = self.network.state_dict()
+                patience_left = cfg.patience
+            else:
+                patience_left -= 1
+                if patience_left <= 0:
+                    break
+
+        if best_state is not None:
+            self.network.load_state_dict(best_state)
+        self._fitted = True
+        self._prepare_test_graph()
+        return FitReport(
+            train_seconds=time.perf_counter() - started,
+            epochs=len(history),
+            history=history,
+            extra={"best_val_rmse": float(best_val)},
+        )
+
+    # ------------------------------------------------------------------
+    # Batch helpers
+    # ------------------------------------------------------------------
+    def _window_tensor(
+        self, values: np.ndarray, batch_starts: np.ndarray, base_steps: np.ndarray | None
+    ) -> Tensor:
+        spec = self.spec
+        offset = int(base_steps[0]) if base_steps is not None else 0
+        windows = [values[offset + s : offset + s + spec.input_length] for s in batch_starts]
+        return Tensor(np.stack(windows, axis=0)[..., None])
+
+    def _make_batch(
+        self,
+        input_values: np.ndarray,
+        target_values: np.ndarray,
+        batch_starts: np.ndarray,
+        base_steps: np.ndarray | None,
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        spec = self.spec
+        steps_per_day = self.dataset.steps_per_day
+        offset = int(base_steps[0]) if base_steps is not None else 0
+        xs, tes, ys = [], [], []
+        for s in batch_starts:
+            begin = offset + int(s)
+            mid = begin + spec.input_length
+            end = mid + spec.horizon
+            xs.append(input_values[begin:mid])
+            ys.append(target_values[mid:end])
+            ids = (begin + np.arange(spec.input_length)) % steps_per_day
+            tes.append(normalised_time_encoding(ids, steps_per_day))
+        x = Tensor(np.stack(xs, axis=0)[..., None])
+        te = Tensor(np.stack(tes, axis=0)[..., None])
+        y = Tensor(np.stack(ys, axis=0)[..., None])
+        return x, te, y
+
+    def _validation_rmse(
+        self,
+        val_filled: np.ndarray,
+        val_starts: np.ndarray,
+        val_local: np.ndarray,
+        a_s: Tensor,
+        a_dtw: Tensor,
+        train_steps: np.ndarray,
+    ) -> float:
+        if len(val_local) == 0 or len(val_starts) == 0:
+            return float("nan")
+        spec = self.spec
+        observed = self.split.observed
+        self.network.eval()
+        errors: list[np.ndarray] = []
+        with no_grad():
+            for begin in range(0, len(val_starts), self.config.batch_size):
+                batch = val_starts[begin : begin + self.config.batch_size]
+                # val_filled is already restricted to train_steps rows.
+                x, te, _y = self._make_batch_from_local(val_filled, batch, train_steps)
+                predictions, _z = self.network(x, te, a_s, a_dtw)
+                pred = predictions.numpy()[..., 0][:, :, val_local]
+                truth = np.stack(
+                    [
+                        self._scaled_full[
+                            int(train_steps[0]) + s + spec.input_length :
+                            int(train_steps[0]) + s + spec.total
+                        ][:, observed[val_local]]
+                        for s in batch
+                    ]
+                )
+                errors.append((pred - truth) ** 2)
+        return float(np.sqrt(np.concatenate([e.ravel() for e in errors]).mean()))
+
+    def _make_batch_from_local(
+        self, local_values: np.ndarray, batch_starts: np.ndarray, base_steps: np.ndarray
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Batch from values indexed locally (row 0 == base_steps[0])."""
+        spec = self.spec
+        steps_per_day = self.dataset.steps_per_day
+        xs, tes = [], []
+        for s in batch_starts:
+            begin = int(s)
+            xs.append(local_values[begin : begin + spec.input_length])
+            ids = (int(base_steps[0]) + begin + np.arange(spec.input_length)) % steps_per_day
+            tes.append(normalised_time_encoding(ids, steps_per_day))
+        x = Tensor(np.stack(xs, axis=0)[..., None])
+        te = Tensor(np.stack(tes, axis=0)[..., None])
+        return x, te, None
+
+    # ------------------------------------------------------------------
+    # Testing (§3.5)
+    # ------------------------------------------------------------------
+    def _prepare_test_graph(self) -> None:
+        """Precompute the full-graph adjacencies used at prediction time."""
+        cfg = self.config
+        dataset = self.dataset
+        observed = self.split.observed
+        unobserved = self.split.unobserved
+        n = dataset.num_locations
+        filled = fill_pseudo_observations(
+            self._scaled_full,
+            self._dist_pseudo,
+            target_index=unobserved,
+            source_index=observed,
+            k=cfg.pseudo_k,
+        )
+        self._filled_full = filled
+        a_dtw_test = build_dtw_adjacency(
+            filled,
+            observed_index=observed,
+            target_index=unobserved,
+            steps_per_day=dataset.steps_per_day,
+            num_nodes=n,
+            q_kk=cfg.q_kk,
+            q_ku=cfg.q_ku,
+            resolution=cfg.dtw_resolution,
+        )
+        self._a_s_test_t = Tensor(gcn_normalise(self._a_s_full))
+        self._a_dtw_test_t = Tensor(gcn_normalise(a_dtw_test))
+
+    def predict(self, window_starts: np.ndarray, stochastic: bool = False) -> np.ndarray:
+        """Forecast the unobserved region (§3.5 testing procedure).
+
+        With ``stochastic=True`` the dropout layers stay active, producing
+        one Monte-Carlo sample per call — the mechanism used by
+        :class:`~repro.core.uncertainty.MCDropoutForecaster`.
+        """
+        if not self._fitted or self.network is None:
+            raise RuntimeError("predict() called before fit()")
+        spec = self.spec
+        cfg = self.config
+        unobserved = self.split.unobserved
+        steps_per_day = self.dataset.steps_per_day
+        self.network.train(stochastic)
+        outputs = []
+        with no_grad():
+            for begin in range(0, len(window_starts), cfg.batch_size):
+                batch = np.asarray(window_starts)[begin : begin + cfg.batch_size]
+                xs, tes = [], []
+                for s in batch:
+                    xs.append(self._filled_full[int(s) : int(s) + spec.input_length])
+                    ids = (int(s) + np.arange(spec.input_length)) % steps_per_day
+                    tes.append(normalised_time_encoding(ids, steps_per_day))
+                x = Tensor(np.stack(xs, axis=0)[..., None])
+                te = Tensor(np.stack(tes, axis=0)[..., None])
+                predictions, _z = self.network(x, te, self._a_s_test_t, self._a_dtw_test_t)
+                scaled = predictions.numpy()[..., 0][:, :, unobserved]
+                outputs.append(self.scaler.inverse_transform(scaled))
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,176 @@
+"""The STSM spatial-temporal network (paper §3.4 and Fig. 3).
+
+Pipeline per forward pass:
+
+1. **Input fusion** (Eq. 4): observations and time-of-day ids are each
+   projected to the hidden width and multiplied elementwise.
+2. **L ST blocks** (Eqs. 5-12): each block runs a temporal module (dilated
+   TCN, or a transformer for STSM-trans) in parallel with the dual GCN
+   (spatial + DTW adjacency, gated, depth-max-pooled) and sums the two
+   streams (Eq. 12).  STSM-trans fuses the streams with a learned gate
+   instead (GMAN-style, §5.2.5).
+3. **Output head** (Eq. 13): two linear layers map the hidden features to
+   the forecast; a linear time-projection maps T input steps to T' output
+   steps when they differ.
+4. **Contrastive head** (Eq. 16): the last time step's node features are
+   summed over nodes and passed through a two-layer MLP to produce the
+   graph representation ``Z`` used by the NT-Xent loss.
+
+The network is inductive: adjacency matrices are inputs, so the same
+weights run on the observed sub-graph (training) and the full graph
+(testing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Linear, Module, ModuleList, init
+from .config import STSMConfig
+from .gcn import DualGraphAttention, DualGraphConv
+from .tcn import DilatedTCN, RecurrentTemporal, TransformerTemporal
+
+__all__ = ["STBlock", "STSMNetwork"]
+
+
+class STBlock(Module):
+    """One spatial-temporal block: temporal stream + dual GCN stream."""
+
+    def __init__(self, config: STSMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        dim = config.hidden_dim
+        if config.temporal_module == "transformer":
+            self.temporal = TransformerTemporal(
+                dim,
+                num_heads=config.attention_heads,
+                dropout=config.dropout,
+                rng=rng,
+            )
+            self.gated_fusion = True
+        elif config.temporal_module == "gru":
+            self.temporal = RecurrentTemporal(dim, rng=rng)
+            self.gated_fusion = False
+        else:
+            self.temporal = DilatedTCN(
+                dim,
+                levels=config.tcn_levels,
+                kernel_size=config.tcn_kernel,
+                dropout=config.dropout,
+                rng=rng,
+            )
+            self.gated_fusion = False
+        if config.spatial_module == "gat":
+            self.graph = DualGraphAttention(dim, num_heads=config.gat_heads, rng=rng)
+        else:
+            self.graph = DualGraphConv(dim, config.gcn_depth, rng=rng)
+        if self.gated_fusion:
+            # GMAN-style gate: z = sigmoid(W_t h_t + W_g h_g + b),
+            # out = z * h_t + (1 - z) * h_g.
+            self.gate_temporal = Linear(dim, dim, rng=rng)
+            self.gate_graph = Linear(dim, dim, rng=rng)
+
+    def forward(self, features: Tensor, a_spatial: Tensor, a_dtw: Tensor) -> Tensor:
+        temporal = self.temporal(features)
+        graph = self.graph(a_spatial, a_dtw, features)
+        if self.gated_fusion:
+            gate = (self.gate_temporal(temporal) + self.gate_graph(graph)).sigmoid()
+            one = Tensor(np.ones(gate.shape))
+            return gate * temporal + (one - gate) * graph
+        return temporal + graph  # Eq. 12
+
+
+class STSMNetwork(Module):
+    """The trainable network behind every STSM variant."""
+
+    def __init__(
+        self,
+        config: STSMConfig,
+        horizon: int | None = None,
+        input_length: int | None = None,
+    ) -> None:
+        super().__init__()
+        config.validate()
+        self.config = config
+        self.horizon = horizon
+        rng = init.default_rng(config.seed)
+        dim = config.hidden_dim
+        self.value_proj = Linear(1, dim, rng=rng)  # phi_1 of Eq. 4
+        self.time_proj = Linear(1, dim, rng=rng)  # phi_2 of Eq. 4
+        # Start the multiplicative time gate at identity (bias 1) so the
+        # value signal is not attenuated before the gate has learned.
+        self.time_proj.bias.data[...] = 1.0
+        self.blocks = ModuleList([STBlock(config, rng) for _ in range(config.num_blocks)])
+        self.head_hidden = Linear(dim, config.head_hidden, rng=rng)  # phi_3 of Eq. 13
+        self.head_out = Linear(config.head_hidden, 1, rng=rng)  # phi_4 of Eq. 13
+        self.contrast_hidden = Linear(dim, config.contrastive_dim, rng=rng)  # phi of Eq. 16
+        self.contrast_out = Linear(config.contrastive_dim, config.contrastive_dim, rng=rng)
+        # Dense time-mixing head T -> T'; built eagerly (when the window
+        # lengths are known) so the optimiser sees its parameters, or
+        # lazily on the first forward otherwise.
+        self.time_map: Linear | None = None
+        if input_length is not None:
+            out_steps = horizon if horizon is not None else input_length
+            self.time_map = Linear(input_length, out_steps, rng=init.default_rng(config.seed + 1))
+
+    def _fuse_inputs(self, values: Tensor, time_encoding: Tensor) -> Tensor:
+        """Eq. 4: H^0 = phi_1(X) ⊗ phi_2(TE)."""
+        projected_values = self.value_proj(values)  # (B, T, N, C')
+        projected_time = self.time_proj(time_encoding)  # (B, T, C')
+        batch, time, dim = projected_time.shape
+        broadcast_time = projected_time.reshape(batch, time, 1, dim)
+        return projected_values * broadcast_time
+
+    def _project_horizon(self, hidden: Tensor) -> Tensor:
+        """Map the T input-aligned steps onto the T' output steps.
+
+        A dense linear map over the time axis lets every horizon step read
+        the whole input window.  Without it, output step 1 (the nearest
+        future) would only see features aligned with the *oldest* inputs,
+        because the TCN/GCN blocks keep the time axis position-aligned.
+        """
+        horizon = self.horizon if self.horizon is not None else hidden.shape[1]
+        if self.time_map is None or self.time_map.in_features != hidden.shape[1]:
+            rng = init.default_rng(self.config.seed + 1)
+            self.time_map = Linear(hidden.shape[1], horizon, rng=rng)
+        # (B, T, N, C) -> (B, N, C, T) -> linear T->T' -> back.
+        moved = hidden.transpose(0, 2, 3, 1)
+        mapped = self.time_map(moved)
+        return mapped.transpose(0, 3, 1, 2)
+
+    def forward(
+        self,
+        values: Tensor,
+        time_encoding: Tensor,
+        a_spatial: Tensor,
+        a_dtw: Tensor,
+    ) -> tuple[Tensor, Tensor]:
+        """Run the network.
+
+        Parameters
+        ----------
+        values:
+            ``(batch, T, N, 1)`` (pseudo-)observations, scaled.
+        time_encoding:
+            ``(batch, T, 1)`` normalised time-of-day ids.
+        a_spatial / a_dtw:
+            Normalised ``(N, N)`` adjacency tensors.
+
+        Returns
+        -------
+        predictions:
+            ``(batch, T', N, 1)`` forecasts in scaled space.
+        graph_repr:
+            ``(batch, contrastive_dim)`` graph representations (Eq. 16).
+        """
+        hidden = self._fuse_inputs(values, time_encoding)
+        for block in self.blocks:
+            hidden = block(hidden, a_spatial, a_dtw)
+        # Contrastive representation from the last time step (Eq. 16).
+        last_step = hidden[:, -1, :, :]  # (B, N, C')
+        pooled = last_step.sum(axis=1)  # sum over nodes
+        graph_repr = self.contrast_out(self.contrast_hidden(pooled).relu())
+        # Output head (Eq. 13); final layer linear for z-scored regression.
+        projected = self._project_horizon(hidden)
+        predictions = self.head_out(self.head_hidden(projected).relu())
+        return predictions, graph_repr

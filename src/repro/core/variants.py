@@ -1,0 +1,109 @@
+"""Ready-made constructors for STSM and its paper variants.
+
+Paper §5.2.2 / §5.2.5 / §5.2.6:
+
+========  ==================  ====================  =====================
+Variant   Selective masking   Contrastive learning  Other
+========  ==================  ====================  =====================
+STSM      yes                 yes                   --
+STSM-NC   yes                 no                    --
+STSM-R    no (random)         yes                   --
+STSM-RNC  no (random)         no                    (the base model, §3)
+STSM-trans yes                yes                   transformer temporal
+STSM-rd-a yes                 yes                   road dist (adj+pseudo)
+STSM-rd-m yes                 yes                   road dist (adj only)
+========  ==================  ====================  =====================
+"""
+
+from __future__ import annotations
+
+from .config import STSMConfig, config_for_dataset
+from .model import STSMForecaster
+
+__all__ = [
+    "make_stsm",
+    "make_stsm_nc",
+    "make_stsm_r",
+    "make_stsm_rnc",
+    "make_stsm_trans",
+    "make_stsm_gat",
+    "make_stsm_rd_a",
+    "make_stsm_rd_m",
+    "STSM_VARIANTS",
+]
+
+
+def _base_config(dataset_name: str | None, config: STSMConfig | None, **overrides) -> STSMConfig:
+    if config is not None:
+        return config.replace(**overrides) if overrides else config
+    if dataset_name is not None:
+        return config_for_dataset(dataset_name, **overrides)
+    return STSMConfig(**overrides)
+
+
+def make_stsm(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """Full STSM (selective masking + contrastive learning)."""
+    cfg = _base_config(dataset_name, config, **overrides)
+    return STSMForecaster(cfg, name="STSM")
+
+
+def make_stsm_nc(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """STSM-NC: contrastive learning disabled."""
+    cfg = _base_config(dataset_name, config, **overrides).replace(contrastive=False)
+    return STSMForecaster(cfg, name="STSM-NC")
+
+
+def make_stsm_r(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """STSM-R: selective masking replaced by random sub-graph masking."""
+    cfg = _base_config(dataset_name, config, **overrides).replace(selective_masking=False)
+    return STSMForecaster(cfg, name="STSM-R")
+
+
+def make_stsm_rnc(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """STSM-RNC: the base model (random masking, no contrastive loss)."""
+    cfg = _base_config(dataset_name, config, **overrides).replace(
+        selective_masking=False, contrastive=False
+    )
+    return STSMForecaster(cfg, name="STSM-RNC")
+
+
+def make_stsm_trans(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """STSM-trans: transformer temporal module with gated fusion (§5.2.5)."""
+    cfg = _base_config(dataset_name, config, **overrides).replace(temporal_module="transformer")
+    return STSMForecaster(cfg, name="STSM-trans")
+
+
+def make_stsm_gat(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """STSM-gat: graph-attention spatial module (extension, cf. §5.2.5).
+
+    The paper swaps the temporal module to show extensibility; this is the
+    matching swap on the spatial side — learned attention edge weights in
+    place of the fixed GCN normalisation.
+    """
+    cfg = _base_config(dataset_name, config, **overrides).replace(spatial_module="gat")
+    return STSMForecaster(cfg, name="STSM-gat")
+
+
+def make_stsm_rd_a(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """STSM-rd-a: road-network distances for adjacency AND pseudo-obs (§5.2.6)."""
+    cfg = _base_config(dataset_name, config, **overrides).replace(distance_mode="road_all")
+    return STSMForecaster(cfg, name="STSM-rd-a")
+
+
+def make_stsm_rd_m(dataset_name: str | None = None, config: STSMConfig | None = None, **overrides) -> STSMForecaster:
+    """STSM-rd-m: road-network distances for adjacency matrices only (§5.2.6)."""
+    cfg = _base_config(dataset_name, config, **overrides).replace(distance_mode="road_adj_only")
+    return STSMForecaster(cfg, name="STSM-rd-m")
+
+
+#: Name -> constructor map used by the experiment runners.
+STSM_VARIANTS = {
+    "STSM": make_stsm,
+    "STSM-NC": make_stsm_nc,
+    "STSM-R": make_stsm_r,
+    "STSM-RNC": make_stsm_rnc,
+    "STSM-trans": make_stsm_trans,
+    "STSM-gat": make_stsm_gat,
+    "STSM-rd-a": make_stsm_rd_a,
+    "STSM-rd-m": make_stsm_rd_m,
+}

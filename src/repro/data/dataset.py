@@ -1,0 +1,170 @@
+"""The spatio-temporal dataset container shared by all models.
+
+Holds the observation matrix, sensor coordinates, the static location
+features consumed by selective masking (POI category counts, prosperity
+scale, road attributes — paper §4.1), and optionally the road network the
+sensors live on (for the road-distance model variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.roadnet import RoadNetwork
+
+__all__ = ["LocationFeatures", "SpatioTemporalDataset"]
+
+#: Number of POI categories (paper Table 1).
+NUM_POI_CATEGORIES = 26
+
+
+@dataclass
+class LocationFeatures:
+    """Static per-location features for the selective masking module.
+
+    Attributes
+    ----------
+    poi_counts:
+        ``(N, 26)`` POI category counts within radius ``r_poi`` (Table 1).
+    scale:
+        ``(N,)`` prosperity scalar ``l_scale`` (building floors / park area).
+    road:
+        ``(N, 4)`` road vector: highway_level, maxspeed, is_oneway, lanes.
+    """
+
+    poi_counts: np.ndarray
+    scale: np.ndarray
+    road: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.poi_counts = np.asarray(self.poi_counts, dtype=float)
+        self.scale = np.asarray(self.scale, dtype=float)
+        self.road = np.asarray(self.road, dtype=float)
+        n = len(self.poi_counts)
+        if self.poi_counts.shape != (n, NUM_POI_CATEGORIES):
+            raise ValueError(
+                f"poi_counts must be (N, {NUM_POI_CATEGORIES}), got {self.poi_counts.shape}"
+            )
+        if self.scale.shape != (n,):
+            raise ValueError(f"scale must be (N,), got {self.scale.shape}")
+        if self.road.shape != (n, 4):
+            raise ValueError(f"road must be (N, 4), got {self.road.shape}")
+
+    def __len__(self) -> int:
+        return len(self.poi_counts)
+
+    def embedding_matrix(self) -> np.ndarray:
+        """The location embedding ``l_i = [l_poi || l_scale || l_road]`` (R^31)."""
+        return np.concatenate(
+            [self.poi_counts, self.scale[:, None], self.road], axis=1
+        )
+
+
+@dataclass
+class SpatioTemporalDataset:
+    """Observations plus geometry and static features for one region.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"pems-bay-synth"``).
+    values:
+        ``(T, N)`` observation matrix (traffic speed or PM2.5).
+    coords:
+        ``(N, 2)`` planar coordinates in metres.
+    steps_per_day:
+        Number of observation intervals per day (``T_d``).
+    features:
+        Static :class:`LocationFeatures` for selective masking.
+    road_network:
+        Optional :class:`~repro.graph.roadnet.RoadNetwork`.
+    interval_minutes:
+        Observation interval (5 for PEMS, 15 for Melbourne, 60 for AirQ).
+    """
+
+    name: str
+    values: np.ndarray
+    coords: np.ndarray
+    steps_per_day: int
+    features: LocationFeatures
+    road_network: RoadNetwork | None = None
+    interval_minutes: float = 5.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        self.coords = np.asarray(self.coords, dtype=float)
+        if self.values.ndim != 2:
+            raise ValueError(f"values must be (T, N), got shape {self.values.shape}")
+        if self.coords.shape != (self.num_locations, 2):
+            raise ValueError(
+                f"coords shape {self.coords.shape} does not match N={self.num_locations}"
+            )
+        if len(self.features) != self.num_locations:
+            raise ValueError("features length does not match number of locations")
+        if self.steps_per_day <= 0:
+            raise ValueError("steps_per_day must be positive")
+
+    @property
+    def num_steps(self) -> int:
+        """Number of time steps T."""
+        return self.values.shape[0]
+
+    @property
+    def num_locations(self) -> int:
+        """Number of locations N."""
+        return self.values.shape[1]
+
+    @property
+    def num_days(self) -> float:
+        """Length of the record in days."""
+        return self.num_steps / self.steps_per_day
+
+    def subset_locations(self, index: np.ndarray, name_suffix: str = "subset") -> "SpatioTemporalDataset":
+        """Restrict the dataset to the given location indices."""
+        index = np.asarray(index, dtype=int)
+        return SpatioTemporalDataset(
+            name=f"{self.name}-{name_suffix}",
+            values=self.values[:, index],
+            coords=self.coords[index],
+            steps_per_day=self.steps_per_day,
+            features=LocationFeatures(
+                poi_counts=self.features.poi_counts[index],
+                scale=self.features.scale[index],
+                road=self.features.road[index],
+            ),
+            road_network=self.road_network,
+            interval_minutes=self.interval_minutes,
+            metadata=dict(self.metadata),
+        )
+
+    def subset_steps(self, index: np.ndarray, name_suffix: str = "steps") -> "SpatioTemporalDataset":
+        """Restrict the dataset to the given time-step indices."""
+        index = np.asarray(index, dtype=int)
+        return SpatioTemporalDataset(
+            name=f"{self.name}-{name_suffix}",
+            values=self.values[index],
+            coords=self.coords,
+            steps_per_day=self.steps_per_day,
+            features=self.features,
+            road_network=self.road_network,
+            interval_minutes=self.interval_minutes,
+            metadata=dict(self.metadata),
+        )
+
+    def describe(self) -> dict:
+        """Summary statistics in the shape of the paper's Table 2."""
+        return {
+            "name": self.name,
+            "sensors": self.num_locations,
+            "steps": self.num_steps,
+            "days": round(self.num_days, 2),
+            "interval_minutes": self.interval_minutes,
+            "steps_per_day": self.steps_per_day,
+            "value_mean": round(float(self.values.mean()), 3),
+            "value_std": round(float(self.values.std()), 3),
+            "value_min": round(float(self.values.min()), 3),
+            "value_max": round(float(self.values.max()), 3),
+        }

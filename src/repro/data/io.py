@@ -1,0 +1,82 @@
+"""Dataset serialisation.
+
+Synthetic datasets are cheap to regenerate, but saved copies make
+experiment runs byte-for-byte reproducible across sessions and let users
+ship their own (real) data in the same container format.  Format: one
+``.npz`` with a JSON header (road networks are not serialised — they are
+regenerable for synthetic data and external for real data).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import LocationFeatures, SpatioTemporalDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_HEADER_KEY = "__header__"
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: SpatioTemporalDataset, path: str | Path) -> Path:
+    """Write a dataset to ``path`` (``.npz``).
+
+    The road network (if any) is *not* stored; ``metadata`` values that are
+    numpy arrays are stored, other values must be JSON-serialisable.
+    """
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "steps_per_day": dataset.steps_per_day,
+        "interval_minutes": dataset.interval_minutes,
+        "metadata_scalars": {
+            k: v for k, v in dataset.metadata.items() if not isinstance(v, np.ndarray)
+        },
+        "metadata_arrays": [
+            k for k, v in dataset.metadata.items() if isinstance(v, np.ndarray)
+        ],
+    }
+    arrays = {
+        "values": dataset.values,
+        "coords": dataset.coords,
+        "poi_counts": dataset.features.poi_counts,
+        "scale": dataset.features.scale,
+        "road": dataset.features.road,
+        _HEADER_KEY: np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+    }
+    for key in header["metadata_arrays"]:
+        arrays[f"meta::{key}"] = dataset.metadata[key]
+    np.savez_compressed(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_dataset(path: str | Path) -> SpatioTemporalDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    archive = np.load(Path(path), allow_pickle=False)
+    if _HEADER_KEY not in archive:
+        raise ValueError(f"{path} is not a saved SpatioTemporalDataset")
+    header = json.loads(bytes(archive[_HEADER_KEY]).decode("utf-8"))
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {header.get('format_version')}")
+    metadata = dict(header["metadata_scalars"])
+    for key in header["metadata_arrays"]:
+        metadata[key] = archive[f"meta::{key}"]
+    return SpatioTemporalDataset(
+        name=header["name"],
+        values=archive["values"],
+        coords=archive["coords"],
+        steps_per_day=int(header["steps_per_day"]),
+        features=LocationFeatures(
+            poi_counts=archive["poi_counts"],
+            scale=archive["scale"],
+            road=archive["road"],
+        ),
+        road_network=None,
+        interval_minutes=float(header["interval_minutes"]),
+        metadata=metadata,
+    )

@@ -1,0 +1,45 @@
+"""Synthetic stand-ins for the paper's datasets (no network access).
+
+See DESIGN.md for the substitution rationale: the simulators reproduce the
+statistical structure (diurnal cycles, spatial correlation along the road
+graph, land-use-driven heterogeneity) that the forecasting models exploit.
+"""
+
+from .airquality import simulate_pm25
+from .catalog import (
+    DATASET_MAKERS,
+    PAPER_DATASETS,
+    make_airq,
+    make_dataset,
+    make_melbourne,
+    make_pems07,
+    make_pems08,
+    make_pems_bay,
+)
+from .city import CityLayout, generate_highway_city, generate_urban_city, land_use_mixture
+from .poi import LAND_USES, NUM_POI_CATEGORIES, POI_CATEGORIES, poi_intensity, sample_poi_counts, sample_scale
+from .traffic import diurnal_demand, simulate_traffic_speeds
+
+__all__ = [
+    "make_pems_bay",
+    "make_pems07",
+    "make_pems08",
+    "make_melbourne",
+    "make_airq",
+    "make_dataset",
+    "DATASET_MAKERS",
+    "PAPER_DATASETS",
+    "CityLayout",
+    "generate_highway_city",
+    "generate_urban_city",
+    "land_use_mixture",
+    "POI_CATEGORIES",
+    "NUM_POI_CATEGORIES",
+    "LAND_USES",
+    "poi_intensity",
+    "sample_poi_counts",
+    "sample_scale",
+    "simulate_traffic_speeds",
+    "diurnal_demand",
+    "simulate_pm25",
+]

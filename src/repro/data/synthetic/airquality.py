@@ -1,0 +1,93 @@
+"""PM2.5 simulation for the AirQ (Beijing + Tianjin) stand-in.
+
+The real AirQ dataset (Zheng et al., KDD 2015) records hourly PM2.5 at 63
+stations across two adjacent cities for a year.  The simulator reproduces
+the properties the models rely on: strong regional correlation (smog
+episodes cover whole cities), seasonal baseline (winter ≫ summer), a mild
+daily cycle, land-use-driven local offsets (industrial higher), spatial
+smoothness within city clusters, and heavy-tailed pollution episodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph.adjacency import gaussian_kernel_adjacency, row_normalise
+from ...graph.distances import euclidean_distance_matrix
+
+__all__ = ["simulate_pm25"]
+
+
+def simulate_pm25(
+    coords: np.ndarray,
+    land_use: np.ndarray,
+    steps_per_day: int,
+    num_days: int,
+    rng: np.random.Generator,
+    base_level: float = 65.0,
+) -> np.ndarray:
+    """Simulate ``(T, N)`` hourly PM2.5 concentrations (µg/m³).
+
+    Parameters
+    ----------
+    coords:
+        ``(N, 2)`` station positions (metres; clusters are fine).
+    land_use:
+        ``(N, 5)`` land-use mixture; the industrial column raises the local
+        baseline, the recreational column lowers it.
+    steps_per_day / num_days:
+        Temporal resolution (24 for hourly) and record length.
+    rng:
+        Random generator.
+    base_level:
+        Annual-average concentration scale.
+    """
+    coords = np.asarray(coords, dtype=float)
+    land_use = np.asarray(land_use, dtype=float)
+    n = len(coords)
+    total_steps = steps_per_day * num_days
+
+    # Seasonal factor: winter peaks about 2.2x the summer trough.
+    day_index = np.repeat(np.arange(num_days), steps_per_day)
+    seasonal = 1.0 + 0.6 * np.cos(2 * np.pi * day_index / 365.0)
+
+    # Daily cycle: morning and evening combustion bumps.
+    hours = (np.arange(total_steps) % steps_per_day) / steps_per_day * 24.0
+    daily = 1.0 + 0.15 * np.exp(-((hours - 8.0) ** 2) / 8.0) + 0.2 * np.exp(
+        -((hours - 21.0) ** 2) / 10.0
+    )
+
+    # Regional AR(1) episodes shared by neighbouring stations.
+    distances = euclidean_distance_matrix(coords)
+    adjacency = gaussian_kernel_adjacency(distances, threshold=0.05, self_loops=True)
+    mixing = row_normalise(adjacency)
+    regional = np.zeros((total_steps, n))
+    state = rng.normal(0.0, 0.3, size=n)
+    for t in range(total_steps):
+        shared = rng.normal(0.0, 0.18)  # region-wide weather driver
+        local = rng.normal(0.0, 0.10, size=n)
+        state = 0.97 * state + shared + 0.5 * (mixing @ local)
+        regional[t] = mixing @ state
+
+    industrial = land_use[:, 2]
+    recreational = land_use[:, 3]
+    local_factor = 1.0 + 0.5 * industrial - 0.25 * recreational
+
+    concentration = (
+        base_level
+        * seasonal[:, None]
+        * daily[:, None]
+        * local_factor[None, :]
+        * np.exp(0.45 * regional)
+    )
+
+    # Severe episodes: multiply a multi-day stretch region-wide.
+    num_episodes = max(1, rng.poisson(num_days / 45.0))
+    for _ in range(num_episodes):
+        start = int(rng.integers(0, max(1, total_steps - steps_per_day)))
+        duration = int(rng.integers(steps_per_day, steps_per_day * 4))
+        stop = min(total_steps, start + duration)
+        concentration[start:stop] *= rng.uniform(1.8, 3.2)
+
+    concentration += rng.normal(0.0, 4.0, size=concentration.shape)
+    return np.clip(concentration, 2.0, 900.0)

@@ -1,0 +1,86 @@
+"""Per-horizon and per-location error profiles.
+
+The headline tables average over the whole forecast window; these helpers
+break errors down by lead time (how fast accuracy decays from +1 step to
++T') and by location (which parts of the unobserved region are hard) —
+the views practitioners ask for first when adopting a forecaster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import SpatioTemporalDataset
+from ..data.splits import SpaceSplit
+from ..data.windows import WindowSpec
+from ..interfaces import Forecaster
+from .metrics import Metrics, compute_metrics
+
+__all__ = ["horizon_profile", "location_profile", "stack_truth"]
+
+
+def stack_truth(
+    dataset: SpatioTemporalDataset,
+    split: SpaceSplit,
+    spec: WindowSpec,
+    window_starts: np.ndarray,
+) -> np.ndarray:
+    """Ground-truth tensor ``(windows, T', N_u)`` for the given starts."""
+    return np.stack(
+        [
+            dataset.values[s + spec.input_length : s + spec.total][:, split.unobserved]
+            for s in np.asarray(window_starts, dtype=int)
+        ]
+    )
+
+
+def horizon_profile(
+    forecaster: Forecaster,
+    dataset: SpatioTemporalDataset,
+    split: SpaceSplit,
+    spec: WindowSpec,
+    window_starts: np.ndarray,
+) -> list[Metrics]:
+    """Metrics at each lead time (index ``h`` -> forecasting ``h+1`` steps ahead)."""
+    predictions = forecaster.predict(window_starts)
+    truth = stack_truth(dataset, split, spec, window_starts)
+    if predictions.shape != truth.shape:
+        raise ValueError(
+            f"prediction shape {predictions.shape} does not match truth {truth.shape}"
+        )
+    return [
+        compute_metrics(predictions[:, h, :], truth[:, h, :])
+        for h in range(spec.horizon)
+    ]
+
+
+def location_profile(
+    forecaster: Forecaster,
+    dataset: SpatioTemporalDataset,
+    split: SpaceSplit,
+    spec: WindowSpec,
+    window_starts: np.ndarray,
+) -> list[dict]:
+    """Per-unobserved-location metrics, sorted worst-RMSE first.
+
+    Each entry carries the global location id, its coordinates, its
+    distance to the nearest observed sensor, and its metrics — enough to
+    see whether errors concentrate deep inside the unobserved region.
+    """
+    predictions = forecaster.predict(window_starts)
+    truth = stack_truth(dataset, split, spec, window_starts)
+    observed_coords = dataset.coords[split.observed]
+    entries = []
+    for j, location in enumerate(split.unobserved):
+        metrics = compute_metrics(predictions[:, :, j], truth[:, :, j])
+        gap = np.linalg.norm(observed_coords - dataset.coords[location], axis=1).min()
+        entries.append(
+            {
+                "location": int(location),
+                "coords": tuple(np.round(dataset.coords[location], 1)),
+                "nearest_observed_distance": float(gap),
+                "metrics": metrics,
+            }
+        )
+    entries.sort(key=lambda e: e["metrics"].rmse, reverse=True)
+    return entries

@@ -1,0 +1,152 @@
+"""Prediction-interval metrics for probabilistic forecasts.
+
+The paper's related work cites DeepSTUQ [Qian et al. 2023] for uncertainty
+quantification in traffic forecasting but STSM itself is a point
+forecaster.  The :mod:`repro.core.uncertainty` extension adds MC-dropout
+and seed-ensemble predictive distributions on top of STSM; this module
+provides the standard metrics to score them:
+
+* **PICP** — prediction interval coverage probability: the fraction of
+  actuals that fall inside the interval; should match the nominal level.
+* **MPIW** — mean prediction interval width; narrower is better *at equal
+  coverage*.
+* **Winkler (interval) score** — width plus a coverage penalty scaled by
+  ``2/α``; proper for the central ``1−α`` interval, lower is better.
+* **CRPS** — continuous ranked probability score from samples, via the
+  energy-form identity ``CRPS = E|X − y| − ½·E|X − X′|``; generalises MAE
+  to distributions, lower is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "IntervalMetrics",
+    "empirical_interval",
+    "picp",
+    "mean_interval_width",
+    "winkler_score",
+    "crps_from_samples",
+    "evaluate_intervals",
+]
+
+
+def _as_float(values) -> np.ndarray:
+    return np.asarray(values, dtype=float)
+
+
+def empirical_interval(
+    samples: np.ndarray, coverage: float = 0.9
+) -> tuple[np.ndarray, np.ndarray]:
+    """Central interval bounds from the sample axis (axis 0).
+
+    Parameters
+    ----------
+    samples:
+        ``(S, ...)`` Monte-Carlo predictions; the first axis is the sample
+        dimension.
+    coverage:
+        Nominal central coverage, e.g. ``0.9`` for an 80–120 quantile pair
+        at 5% / 95%.
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ValueError(f"coverage must be in (0, 1), got {coverage}")
+    samples = _as_float(samples)
+    if samples.ndim < 1 or samples.shape[0] < 2:
+        raise ValueError("need at least 2 samples along axis 0")
+    alpha = 1.0 - coverage
+    lower = np.quantile(samples, alpha / 2.0, axis=0)
+    upper = np.quantile(samples, 1.0 - alpha / 2.0, axis=0)
+    return lower, upper
+
+
+def picp(lower: np.ndarray, upper: np.ndarray, actual: np.ndarray) -> float:
+    """Fraction of actual values inside ``[lower, upper]``."""
+    lower, upper, actual = _as_float(lower), _as_float(upper), _as_float(actual)
+    inside = (actual >= lower) & (actual <= upper)
+    return float(inside.mean())
+
+
+def mean_interval_width(lower: np.ndarray, upper: np.ndarray) -> float:
+    """Average interval width (MPIW)."""
+    return float((_as_float(upper) - _as_float(lower)).mean())
+
+
+def winkler_score(
+    lower: np.ndarray, upper: np.ndarray, actual: np.ndarray, coverage: float = 0.9
+) -> float:
+    """Winkler/interval score for the central ``coverage`` interval.
+
+    ``width + (2/α)·(lower − y)`` below the interval and symmetrically
+    above; equals the plain width when the actual is covered.
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ValueError(f"coverage must be in (0, 1), got {coverage}")
+    alpha = 1.0 - coverage
+    lower, upper, actual = _as_float(lower), _as_float(upper), _as_float(actual)
+    width = upper - lower
+    below = np.maximum(lower - actual, 0.0)
+    above = np.maximum(actual - upper, 0.0)
+    return float((width + (2.0 / alpha) * (below + above)).mean())
+
+
+def crps_from_samples(samples: np.ndarray, actual: np.ndarray) -> float:
+    """Sample-based CRPS, averaged over all forecast entries.
+
+    Uses the energy form ``E|X − y| − ½·E|X − X′|`` with all S² sample
+    pairs.  ``samples`` is ``(S, ...)`` and ``actual`` matches the trailing
+    shape.
+    """
+    samples = _as_float(samples)
+    actual = _as_float(actual)
+    if samples.shape[1:] != actual.shape:
+        raise ValueError(
+            f"samples trailing shape {samples.shape[1:]} != actual shape {actual.shape}"
+        )
+    num_samples = samples.shape[0]
+    if num_samples < 2:
+        raise ValueError("need at least 2 samples for CRPS")
+    term_accuracy = np.abs(samples - actual[None]).mean()
+    # Pairwise spread without materialising the (S, S, ...) tensor at once.
+    spread = 0.0
+    for i in range(num_samples):
+        spread += np.abs(samples[i][None] - samples).mean()
+    term_spread = spread / num_samples
+    return float(term_accuracy - 0.5 * term_spread)
+
+
+@dataclass(frozen=True)
+class IntervalMetrics:
+    """Scores for one probabilistic forecast at one nominal coverage."""
+
+    coverage_nominal: float
+    picp: float
+    mpiw: float
+    winkler: float
+    crps: float
+
+    def as_dict(self) -> dict:
+        return {
+            "coverage_nominal": self.coverage_nominal,
+            "picp": self.picp,
+            "mpiw": self.mpiw,
+            "winkler": self.winkler,
+            "crps": self.crps,
+        }
+
+
+def evaluate_intervals(
+    samples: np.ndarray, actual: np.ndarray, coverage: float = 0.9
+) -> IntervalMetrics:
+    """All interval metrics from Monte-Carlo samples against actuals."""
+    lower, upper = empirical_interval(samples, coverage)
+    return IntervalMetrics(
+        coverage_nominal=coverage,
+        picp=picp(lower, upper, actual),
+        mpiw=mean_interval_width(lower, upper),
+        winkler=winkler_score(lower, upper, actual, coverage),
+        crps=crps_from_samples(samples, actual),
+    )

@@ -1,0 +1,87 @@
+"""Forecast error metrics (paper §5.1.3).
+
+RMSE, MAE, MAPE and R², where R² measures "how much better the model
+prediction results are compared with just using average observations as
+results" — i.e. the classic coefficient of determination against the test
+ground truth's mean.  MAPE guards against division by ~0 with a floor on
+the absolute ground truth (PM2.5 and speeds are bounded away from zero,
+but synthetic noise can graze it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Metrics", "rmse", "mae", "mape", "r_squared", "compute_metrics"]
+
+#: Floor on |truth| in the MAPE denominator.
+MAPE_FLOOR = 1e-3
+
+
+def _validate(prediction: np.ndarray, truth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if prediction.shape != truth.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs truth {truth.shape}")
+    if prediction.size == 0:
+        raise ValueError("cannot compute metrics on empty arrays")
+    return prediction.ravel(), truth.ravel()
+
+
+def rmse(prediction: np.ndarray, truth: np.ndarray) -> float:
+    """Root mean squared error."""
+    p, t = _validate(prediction, truth)
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def mae(prediction: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error."""
+    p, t = _validate(prediction, truth)
+    return float(np.mean(np.abs(p - t)))
+
+
+def mape(prediction: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute percentage error (as a fraction, matching the paper)."""
+    p, t = _validate(prediction, truth)
+    return float(np.mean(np.abs(p - t) / np.maximum(np.abs(t), MAPE_FLOOR)))
+
+
+def r_squared(prediction: np.ndarray, truth: np.ndarray) -> float:
+    """Coefficient of determination vs. the mean-observation predictor."""
+    p, t = _validate(prediction, truth)
+    residual = np.sum((t - p) ** 2)
+    total = np.sum((t - t.mean()) ** 2)
+    if total == 0:
+        return 0.0 if residual > 0 else 1.0
+    return float(1.0 - residual / total)
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The four-metric bundle used across all result tables."""
+
+    rmse: float
+    mae: float
+    mape: float
+    r2: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"RMSE": self.rmse, "MAE": self.mae, "MAPE": self.mape, "R2": self.r2}
+
+    def __str__(self) -> str:
+        return (
+            f"RMSE={self.rmse:.3f} MAE={self.mae:.3f} "
+            f"MAPE={self.mape:.3f} R2={self.r2:.3f}"
+        )
+
+
+def compute_metrics(prediction: np.ndarray, truth: np.ndarray) -> Metrics:
+    """All four metrics in one call."""
+    return Metrics(
+        rmse=rmse(prediction, truth),
+        mae=mae(prediction, truth),
+        mape=mape(prediction, truth),
+        r2=r_squared(prediction, truth),
+    )

@@ -1,0 +1,98 @@
+"""Paired bootstrap significance test for model comparisons.
+
+The paper reports point estimates; when deltas are small (e.g. STSM vs
+INCREASE within a few percent), a paired test over the shared evaluation
+windows tells you whether the ordering is stable.  This is the standard
+paired-bootstrap on per-window squared errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PairedComparison", "paired_bootstrap"]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired bootstrap between model A and model B.
+
+    Attributes
+    ----------
+    rmse_a / rmse_b:
+        Point-estimate RMSEs on the shared windows.
+    delta:
+        ``rmse_a - rmse_b`` (negative = A better).
+    p_value:
+        Two-sided bootstrap p-value for ``delta != 0``.
+    wins:
+        Fraction of bootstrap resamples where A beats B.
+    """
+
+    rmse_a: float
+    rmse_b: float
+    delta: float
+    p_value: float
+    wins: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional 5% threshold."""
+        return self.p_value < 0.05
+
+
+def paired_bootstrap(
+    predictions_a: np.ndarray,
+    predictions_b: np.ndarray,
+    truth: np.ndarray,
+    num_resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> PairedComparison:
+    """Compare two models' predictions over the same windows.
+
+    Parameters
+    ----------
+    predictions_a / predictions_b:
+        ``(windows, ...)`` prediction tensors over identical windows.
+    truth:
+        Matching ground-truth tensor.
+    num_resamples:
+        Bootstrap iterations (resampling windows with replacement).
+    rng:
+        Random generator (deterministic default).
+    """
+    predictions_a = np.asarray(predictions_a, dtype=float)
+    predictions_b = np.asarray(predictions_b, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if predictions_a.shape != truth.shape or predictions_b.shape != truth.shape:
+        raise ValueError("all inputs must share one shape")
+    if len(truth) < 2:
+        raise ValueError("need at least 2 windows for a paired bootstrap")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    axes = tuple(range(1, truth.ndim))
+    se_a = ((predictions_a - truth) ** 2).mean(axis=axes)  # per-window MSE
+    se_b = ((predictions_b - truth) ** 2).mean(axis=axes)
+    n = len(se_a)
+    rmse_a = float(np.sqrt(se_a.mean()))
+    rmse_b = float(np.sqrt(se_b.mean()))
+    observed = rmse_a - rmse_b
+
+    indices = rng.integers(0, n, size=(num_resamples, n))
+    boot_a = np.sqrt(se_a[indices].mean(axis=1))
+    boot_b = np.sqrt(se_b[indices].mean(axis=1))
+    deltas = boot_a - boot_b
+    wins = float((deltas < 0).mean())
+    # Two-sided p-value: how often the bootstrap delta crosses zero
+    # relative to the observed sign.
+    if observed == 0:
+        p_value = 1.0
+    else:
+        crossed = (deltas >= 0).mean() if observed < 0 else (deltas <= 0).mean()
+        p_value = float(min(1.0, 2.0 * crossed))
+    return PairedComparison(
+        rmse_a=rmse_a, rmse_b=rmse_b, delta=float(observed),
+        p_value=p_value, wins=wins,
+    )

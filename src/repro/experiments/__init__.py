@@ -1,0 +1,32 @@
+"""Experiment runners — one per paper table/figure (see DESIGN.md §4)."""
+
+from .configs import PAPER, SMALL, ExperimentScale, get_scale
+from .registry import EXPERIMENTS, run_experiment
+from .reporting import format_table, improvement_percent
+from .runners import (
+    BASELINE_NAMES,
+    STSM_NAMES,
+    build_dataset,
+    build_model,
+    ratio_split,
+    run_matrix,
+    splits_for,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentScale",
+    "get_scale",
+    "SMALL",
+    "PAPER",
+    "format_table",
+    "improvement_percent",
+    "build_dataset",
+    "build_model",
+    "run_matrix",
+    "splits_for",
+    "ratio_split",
+    "BASELINE_NAMES",
+    "STSM_NAMES",
+]

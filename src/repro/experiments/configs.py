@@ -1,0 +1,159 @@
+"""Experiment scales.
+
+Every experiment runs at one of two scales:
+
+* ``small`` — reduced sensor counts, days, window lengths, and training
+  budgets so the full suite runs on a laptop CPU in minutes.  This is the
+  default for the pytest benchmarks.
+* ``paper`` — the paper's sizes (Table 2 sensor counts, T = T' = 2 h for
+  traffic / 24 h for air quality, four split average).  Expect hours per
+  table on CPU.
+
+Both scales exercise identical code paths; only sizes change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.windows import WindowSpec
+
+__all__ = ["ExperimentScale", "get_scale", "SMALL", "PAPER"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All size knobs for one scale tier."""
+
+    name: str
+    #: Per-dataset (num_sensors, num_days) overrides; None -> paper size.
+    dataset_sizes: dict = field(default_factory=dict)
+    #: Per-dataset (input_length, horizon).
+    windows: dict = field(default_factory=dict)
+    #: Split kinds averaged for "overall" tables.
+    split_kinds: tuple = ("horizontal", "horizontal_flip", "vertical", "vertical_flip")
+    #: STSM config overrides.
+    stsm: dict = field(default_factory=dict)
+    #: Baseline budget overrides.
+    gegan: dict = field(default_factory=dict)
+    ignnk: dict = field(default_factory=dict)
+    increase: dict = field(default_factory=dict)
+    #: Classical-baseline overrides (related-work methods, §2.2).
+    kriging: dict = field(default_factory=dict)
+    completion: dict = field(default_factory=dict)
+    #: Evaluation caps.
+    max_test_windows: int | None = 64
+
+    def dataset_size(self, dataset_name: str) -> tuple[int | None, int | None]:
+        """(num_sensors, num_days) for a preset key, or (None, None)."""
+        return self.dataset_sizes.get(dataset_name, (None, None))
+
+    def window_spec(self, dataset_name: str) -> WindowSpec:
+        """The (T, T') window for a preset key."""
+        length, horizon = self.windows[dataset_name]
+        return WindowSpec(input_length=length, horizon=horizon)
+
+
+SMALL = ExperimentScale(
+    name="small",
+    dataset_sizes={
+        "pems-bay": (36, 4),
+        "pems-07": (40, 4),
+        "pems-08": (40, 4),
+        "melbourne": (30, 6),
+        "airq": (24, 30),
+    },
+    windows={
+        "pems-bay": (12, 12),
+        "pems-07": (12, 12),
+        "pems-08": (12, 12),
+        "melbourne": (8, 8),
+        "airq": (12, 12),
+    },
+    split_kinds=("horizontal", "vertical"),
+    stsm={
+        "hidden_dim": 16,
+        "num_blocks": 2,
+        "tcn_levels": 2,
+        "gcn_depth": 2,
+        "epochs": 25,
+        "patience": 6,
+        "batch_size": 16,
+        "window_stride": 2,
+        "top_k": 10,
+    },
+    gegan={"iterations": 800},
+    ignnk={"iterations": 150},
+    increase={"iterations": 150},
+    max_test_windows=16,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    dataset_sizes={},  # paper sizes from the catalog
+    windows={
+        "pems-bay": (24, 24),
+        "pems-07": (24, 24),
+        "pems-08": (24, 24),
+        "melbourne": (8, 8),  # 2 hours at 15-minute intervals
+        "airq": (24, 24),
+    },
+    split_kinds=("horizontal", "horizontal_flip", "vertical", "vertical_flip"),
+    stsm={
+        "hidden_dim": 32,
+        "num_blocks": 2,
+        "tcn_levels": 2,
+        "gcn_depth": 2,
+        "epochs": 60,
+        "patience": 10,
+        "batch_size": 32,
+        "window_stride": 1,
+    },
+    gegan={"iterations": 6000},
+    ignnk={"iterations": 1500},
+    increase={"iterations": 1500},
+    max_test_windows=None,
+)
+
+BENCH = ExperimentScale(
+    name="bench",
+    dataset_sizes={
+        "pems-bay": (28, 3),
+        "pems-07": (28, 3),
+        "pems-08": (28, 3),
+        "melbourne": (22, 4),
+        "airq": (18, 20),
+    },
+    windows={
+        "pems-bay": (8, 8),
+        "pems-07": (8, 8),
+        "pems-08": (8, 8),
+        "melbourne": (6, 6),
+        "airq": (8, 8),
+    },
+    split_kinds=("horizontal", "vertical"),
+    stsm={
+        "hidden_dim": 12,
+        "num_blocks": 2,
+        "tcn_levels": 2,
+        "gcn_depth": 2,
+        "epochs": 15,
+        "patience": 5,
+        "batch_size": 16,
+        "window_stride": 3,
+        "top_k": 6,
+    },
+    gegan={"iterations": 400},
+    ignnk={"iterations": 100},
+    increase={"iterations": 100},
+    max_test_windows=8,
+)
+
+_SCALES = {"small": SMALL, "paper": PAPER, "bench": BENCH}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a scale tier by name."""
+    if name not in _SCALES:
+        raise KeyError(f"unknown scale {name!r}; choose from {sorted(_SCALES)}")
+    return _SCALES[name]

@@ -1,0 +1,68 @@
+"""Extension experiment: error vs forecast lead time.
+
+The paper reports window-averaged errors (T' = 2 h / 24 h); practitioners
+adopting a forecaster for an unsensed district ask a finer question first:
+*how fast does accuracy decay as the forecast reaches further ahead?*
+This experiment produces the per-lead-time RMSE curve for STSM and the
+strongest baseline, plus the historical-average floor.
+
+Expected shape: at full scale errors grow towards the historical-average
+floor as the input window's information decays.  At reduced scale the
+per-lead curve is dominated by which times-of-day the few test windows
+place at each lead, so the robust, asserted shape is the *gap*: the
+learned models sit at or below the historical-average floor at every
+single lead time, and clearly below it on average.  The floor itself is
+lead-invariant by construction (it ignores the input window), which makes
+it the right yardstick for how much signal survives to each lead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import space_split, temporal_split
+from ..evaluation import forecast_window_starts, horizon_profile
+from .configs import get_scale
+from .reporting import format_table
+from .runners import build_dataset, build_model
+
+__all__ = ["run"]
+
+
+def run(
+    scale_name: str = "small",
+    dataset_key: str = "pems-bay",
+    models: list[str] | None = None,
+    seed: int = 0,
+) -> dict:
+    """Per-lead-time RMSE for each model on one contiguous split."""
+    scale = get_scale(scale_name)
+    model_names = models if models is not None else [
+        "HistoricalAverage", "INCREASE", "STSM",
+    ]
+    dataset = build_dataset(dataset_key, scale)
+    split = space_split(dataset.coords, "horizontal")
+    spec = scale.window_spec(dataset_key)
+    train_ix, _ = temporal_split(dataset.num_steps)
+    starts = forecast_window_starts(dataset, spec, max_windows=scale.max_test_windows)
+
+    curves: dict[str, list[float]] = {}
+    for name in model_names:
+        model = build_model(
+            name, dataset_key, scale, num_observed=len(split.observed), seed=seed
+        )
+        model.fit(dataset, split, spec, train_ix)
+        profile = horizon_profile(model, dataset, split, spec, starts)
+        curves[name] = [m.rmse for m in profile]
+
+    rows = []
+    for step in range(spec.horizon):
+        row = {"Lead": step + 1}
+        for name in model_names:
+            row[name] = curves[name][step]
+        rows.append(row)
+    text = (
+        f"RMSE vs lead time on {dataset_key} ({scale.name} scale, horizon "
+        f"{spec.horizon})\n" + format_table(rows)
+    )
+    return {"rows": rows, "curves": curves, "horizon": spec.horizon, "text": text}

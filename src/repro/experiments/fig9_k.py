@@ -1,0 +1,53 @@
+"""Figure 9 — impact of top-K (paper §5.2.3(1)).
+
+Paper: K ∈ {15, 25, 35, 45, 55} on traffic datasets ({5, 10, 15, 20} on
+AirQ); STSM and STSM-NC are robust to K on the freeway datasets and more
+sensitive on the small datasets.
+"""
+
+from __future__ import annotations
+
+from ..data.splits import space_split
+from .configs import get_scale
+from .reporting import format_table
+from .runners import build_dataset, run_matrix
+
+__all__ = ["run"]
+
+PAPER_KS = (15, 25, 35, 45, 55)
+PAPER_KS_AIRQ = (5, 10, 15, 20)
+SMALL_KS = (4, 6, 8, 10, 12)
+
+
+def run(
+    scale_name: str = "small",
+    dataset_key: str = "pems-bay",
+    models: list[str] | None = None,
+    ks: tuple | None = None,
+    seed: int = 0,
+) -> dict:
+    """Sweep the top-K parameter for the selective-masking variants."""
+    scale = get_scale(scale_name)
+    if ks is None:
+        if scale.name == "paper":
+            ks = PAPER_KS_AIRQ if dataset_key == "airq" else PAPER_KS
+        else:
+            ks = SMALL_KS
+    model_names = models if models is not None else ["STSM", "STSM-NC"]
+    dataset = build_dataset(dataset_key, scale)
+    split = space_split(dataset.coords, "horizontal")
+    rows = []
+    for k in ks:
+        matrix = run_matrix(
+            dataset, dataset_key, model_names, scale, splits=[split], seed=seed, top_k=k
+        )
+        for model_name in model_names:
+            rows.append(
+                {
+                    "K": k,
+                    "Model": model_name,
+                    "RMSE": matrix[model_name]["metrics"].rmse,
+                    "R2": matrix[model_name]["metrics"].r2,
+                }
+            )
+    return {"rows": rows, "text": format_table(rows)}

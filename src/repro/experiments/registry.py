@@ -1,0 +1,67 @@
+"""Experiment registry: id -> runner, mirroring DESIGN.md's index."""
+
+from __future__ import annotations
+
+from . import (
+    ablations,
+    ext_classical,
+    ext_horizon,
+    ext_missingness,
+    ext_multiregion,
+    ext_progressive,
+    ext_robustness,
+    ext_uncertainty,
+    figures_maps,
+    fig7_adjacency,
+    fig8_ratio,
+    fig9_k,
+    fig10_eps,
+    table2_stats,
+    table4_overall,
+    table5_timing,
+    table6_sensors,
+    table7_density,
+    table8_simgain,
+    table9_ring,
+    table10_trans,
+    table11_distance,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS = {
+    "table2_stats": table2_stats.run,
+    "table4_overall": table4_overall.run,
+    "table5_timing": table5_timing.run,
+    "table6_sensors": table6_sensors.run,
+    "table7_density": table7_density.run,
+    "table8_simgain": table8_simgain.run,
+    "table9_ring": table9_ring.run,
+    "table10_trans": table10_trans.run,
+    "table11_distance": table11_distance.run,
+    "fig5_sensor_maps": figures_maps.run_fig5,
+    "fig6_partitioning": figures_maps.run_fig6,
+    "fig11_ring_map": figures_maps.run_fig11,
+    "fig7_adjacency": fig7_adjacency.run,
+    "fig8_ratio": fig8_ratio.run,
+    "fig9_k": fig9_k.run,
+    "fig10_eps": fig10_eps.run,
+    "ablation_dtw": ablations.run_dtw,
+    "ext_multiregion": ext_multiregion.run,
+    "ext_missingness": ext_missingness.run,
+    "ext_classical": ext_classical.run,
+    "ext_uncertainty": ext_uncertainty.run,
+    "ext_progressive": ext_progressive.run,
+    "ext_horizon": ext_horizon.run,
+    "ext_robustness": ext_robustness.run,
+    "ablation_pseudo": ablations.run_pseudo,
+    "ablation_temporal": ablations.run_temporal,
+    "ablation_spatial": ablations.run_spatial,
+}
+
+
+def run_experiment(name: str, **kwargs) -> dict:
+    """Run a registered experiment by id."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](**kwargs)

@@ -1,0 +1,34 @@
+"""Table 11 — distance functions (paper §5.2.6).
+
+Paper: Euclidean distance (STSM) beats road-network distance used for
+adjacency + pseudo-observations (STSM-rd-a) and for adjacency only
+(STSM-rd-m); STSM-rd-m beats STSM-rd-a because Euclidean IDW yields better
+pseudo-observations.
+"""
+
+from __future__ import annotations
+
+from .configs import get_scale
+from .reporting import format_table
+from .runners import build_dataset, run_matrix
+
+__all__ = ["run"]
+
+
+def run(scale_name: str = "small", seed: int = 0) -> dict:
+    """Compare STSM / STSM-rd-a / STSM-rd-m on PEMS-Bay."""
+    scale = get_scale(scale_name)
+    dataset = build_dataset("pems-bay", scale)
+    names = ["STSM", "STSM-rd-a", "STSM-rd-m"]
+    matrix = run_matrix(dataset, "pems-bay", names, scale, seed=seed)
+    rows = [
+        {
+            "Model": name,
+            "RMSE": matrix[name]["metrics"].rmse,
+            "MAE": matrix[name]["metrics"].mae,
+            "MAPE": matrix[name]["metrics"].mape,
+            "R2": matrix[name]["metrics"].r2,
+        }
+        for name in names
+    ]
+    return {"rows": rows, "text": format_table(rows)}

@@ -1,0 +1,92 @@
+"""Table 8 — similarity gain of selective over random masking.
+
+Paper: across datasets, the sub-graphs chosen by selective masking are
+5.4%-19.7% more similar (embedding cosine to the unobserved region) than
+randomly masked ones.
+
+This experiment exercises only the masking machinery: it draws many masks
+under both strategies and compares the mean similarity of the masked
+locations to the unobserved region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.features import compute_subgraph_similarity
+from ..core.masking import SelectiveMasker, random_subgraph_mask
+from ..data.splits import space_split
+from ..graph.adjacency import gaussian_kernel_adjacency
+from ..graph.distances import euclidean_distance_matrix
+from .configs import get_scale
+from .reporting import format_table
+from .runners import build_dataset
+
+__all__ = ["run", "similarity_gain"]
+
+
+def similarity_gain(
+    dataset,
+    split,
+    epsilon_sg: float = 0.5,
+    sigma_scale: float = 0.35,
+    mask_ratio: float = 0.5,
+    top_k: int = 10,
+    draws: int = 50,
+    seed: int = 0,
+) -> dict:
+    """Mean masked-location similarity under both strategies plus gain%."""
+    observed = split.observed
+    distances = euclidean_distance_matrix(dataset.coords)
+    off = distances[~np.eye(len(distances), dtype=bool)]
+    sigma = max(float(off.std()) * sigma_scale, 1e-9)
+    a_sg_full = gaussian_kernel_adjacency(distances, threshold=epsilon_sg, sigma=sigma)
+    a_sg_obs = a_sg_full[np.ix_(observed, observed)]
+    similarity = compute_subgraph_similarity(
+        dataset.features, dataset.coords, a_sg_full, observed, split.unobserved
+    )
+    top_k = min(top_k, len(observed))
+    masker = SelectiveMasker(similarity, a_sg_obs, mask_ratio, top_k=top_k)
+    rng_sel = np.random.default_rng(seed)
+    rng_rand = np.random.default_rng(seed + 1)
+    scores = similarity.embedding_similarity
+
+    def _mean_similarity(mask_local: np.ndarray) -> float:
+        return float(scores[mask_local].mean())
+
+    selective = np.mean(
+        [_mean_similarity(masker.draw(rng_sel)) for _ in range(draws)]
+    )
+    random = np.mean(
+        [
+            _mean_similarity(random_subgraph_mask(a_sg_obs, mask_ratio, rng_rand))
+            for _ in range(draws)
+        ]
+    )
+    gain = (selective - random) / abs(random) * 100.0 if random != 0 else float("nan")
+    return {"selective": float(selective), "random": float(random), "gain_percent": float(gain)}
+
+
+def run(scale_name: str = "small", datasets: list[str] | None = None, seed: int = 0) -> dict:
+    """Similarity-gain table across datasets."""
+    scale = get_scale(scale_name)
+    keys = datasets if datasets is not None else [
+        "pems-bay", "pems-07", "pems-08", "melbourne", "airq",
+    ]
+    rows = []
+    for key in keys:
+        dataset = build_dataset(key, scale)
+        split = space_split(dataset.coords, "horizontal")
+        # Match the paper's K / N_o selectivity (K=35 of ~160 observed on
+        # the freeway datasets, K=5 of ~31 on AirQ: roughly a fifth).
+        top_k = max(3, len(split.observed) // 5)
+        stats = similarity_gain(dataset, split, top_k=top_k, seed=seed)
+        rows.append(
+            {
+                "Dataset": key,
+                "SelectiveSim": stats["selective"],
+                "RandomSim": stats["random"],
+                "Gain%": round(stats["gain_percent"], 2),
+            }
+        )
+    return {"rows": rows, "text": format_table(rows)}

@@ -1,0 +1,45 @@
+"""Table 9 — ring space split on PEMS-Bay (paper §5.2.4).
+
+Paper: with the observed centre / unobserved outer ring layout, STSM still
+beats all baselines (up to +9.5% R²).
+"""
+
+from __future__ import annotations
+
+from ..data.splits import space_split
+from .configs import get_scale
+from .reporting import format_table, improvement_percent
+from .runners import build_dataset, run_matrix
+
+__all__ = ["run"]
+
+
+def run(scale_name: str = "small", models: list[str] | None = None, seed: int = 0) -> dict:
+    """Evaluate models under the ring split."""
+    scale = get_scale(scale_name)
+    model_names = models if models is not None else ["GE-GAN", "IGNNK", "INCREASE", "STSM"]
+    dataset = build_dataset("pems-bay", scale)
+    split = space_split(dataset.coords, "ring")
+    matrix = run_matrix(dataset, "pems-bay", model_names, scale, splits=[split], seed=seed)
+    rows = []
+    for model_name in model_names:
+        metrics = matrix[model_name]["metrics"]
+        rows.append(
+            {
+                "Model": model_name,
+                "RMSE": metrics.rmse,
+                "MAE": metrics.mae,
+                "MAPE": metrics.mape,
+                "R2": metrics.r2,
+            }
+        )
+    baselines = [r for r in rows if r["Model"] != "STSM"]
+    stsm_row = next((r for r in rows if r["Model"] == "STSM"), None)
+    improvement = {}
+    if baselines and stsm_row:
+        for metric, lower in (("RMSE", True), ("MAE", True), ("MAPE", True), ("R2", False)):
+            pool = [r[metric] for r in baselines]
+            best = min(pool) if lower else max(pool)
+            gain = improvement_percent(stsm_row[metric], best, lower)
+            improvement[metric] = None if gain is None else round(gain, 2)
+    return {"rows": rows, "improvement": improvement, "text": format_table(rows)}

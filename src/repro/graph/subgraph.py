@@ -1,0 +1,34 @@
+"""1-hop sub-graph extraction (paper §3.3).
+
+A location's sub-graph is the location plus its 1-hop neighbours under the
+``A_sg`` adjacency.  Both masking strategies (random and selective) mask
+whole sub-graphs to simulate a *contiguous* unobserved region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["one_hop_subgraph", "all_subgraphs", "mean_subgraph_size"]
+
+
+def one_hop_subgraph(adjacency: np.ndarray, node: int) -> np.ndarray:
+    """Return sorted node indices of ``node`` and its 1-hop neighbours."""
+    adjacency = np.asarray(adjacency)
+    n = len(adjacency)
+    if not 0 <= node < n:
+        raise IndexError(f"node {node} out of range for {n}-node graph")
+    neighbours = np.flatnonzero(adjacency[node] != 0)
+    members = np.union1d(neighbours, [node])
+    return members.astype(int)
+
+
+def all_subgraphs(adjacency: np.ndarray) -> list[np.ndarray]:
+    """Sub-graph membership for every node (index ``i`` -> members of SG_i)."""
+    return [one_hop_subgraph(adjacency, node) for node in range(len(adjacency))]
+
+
+def mean_subgraph_size(adjacency: np.ndarray) -> float:
+    """Average sub-graph size δ_s = mean_i |V_SGi| (paper §4.1)."""
+    sizes = [len(members) for members in all_subgraphs(adjacency)]
+    return float(np.mean(sizes)) if sizes else 0.0

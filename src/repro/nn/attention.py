@@ -1,0 +1,101 @@
+"""Attention layers: scaled dot-product, multi-head, transformer encoder.
+
+Used by the STSM-trans variant (paper §5.2.5): the 1-D TCN temporal module
+is replaced by a transformer encoder, with a gated fusion of spatial and
+temporal embeddings per block (following GMAN, Zheng et al. AAAI 2020).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concatenate, softmax
+from . import init
+from .layers import Dropout, Linear
+from .layers import LayerNorm
+from .module import Module
+
+__all__ = ["MultiHeadAttention", "TransformerEncoderLayer", "positional_encoding"]
+
+
+def positional_encoding(length: int, dim: int) -> np.ndarray:
+    """Sinusoidal positional encoding table of shape ``(length, dim)``."""
+    position = np.arange(length)[:, None]
+    term = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((length, dim))
+    table[:, 0::2] = np.sin(position * term)
+    table[:, 1::2] = np.cos(position * term[: (dim + 1) // 2])
+    return table
+
+
+class MultiHeadAttention(Module):
+    """Multi-head scaled dot-product self/cross attention.
+
+    Operates on ``(batch, time, dim)``; heads split the feature axis.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else init.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query_proj = Linear(dim, dim, rng=rng)
+        self.key_proj = Linear(dim, dim, rng=rng)
+        self.value_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, time, _ = x.shape
+        return x.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, query: Tensor, key: Tensor | None = None, value: Tensor | None = None) -> Tensor:
+        key = key if key is not None else query
+        value = value if value is not None else key
+        batch, time_q, _ = query.shape
+        q = self._split_heads(self.query_proj(query))
+        k = self._split_heads(self.key_proj(key))
+        v = self._split_heads(self.value_proj(value))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        weights = self.dropout(softmax(scores, axis=-1))
+        attended = weights @ v  # (batch, heads, time_q, head_dim)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, time_q, self.dim)
+        return self.out_proj(merged)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block: MHA + position-wise FFN."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ffn_dim: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else init.default_rng()
+        ffn_dim = ffn_dim if ffn_dim is not None else 2 * dim
+        self.attention = MultiHeadAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        attended = self.attention(self.norm1(x))
+        x = x + self.dropout(attended)
+        hidden = self.ffn_out(self.ffn_in(self.norm2(x)).relu())
+        return x + self.dropout(hidden)

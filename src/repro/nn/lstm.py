@@ -1,0 +1,71 @@
+"""LSTM layers (substrate completeness; RNN family alongside GRU).
+
+Several related-work systems (DCRNN variants, missing-data imputation
+models) use LSTMs; providing them keeps the substrate reusable for
+extensions beyond the paper's exact architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concatenate, stack
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single LSTM step with forget-gate bias initialised to 1."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else init.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        joint = input_size + hidden_size
+        self.weight_i = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_i")
+        self.weight_f = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_f")
+        self.weight_g = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_g")
+        self.weight_o = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_o")
+        self.bias_i = Parameter(init.zeros((hidden_size,)), name="bias_i")
+        self.bias_f = Parameter(np.ones(hidden_size), name="bias_f")
+        self.bias_g = Parameter(init.zeros((hidden_size,)), name="bias_g")
+        self.bias_o = Parameter(init.zeros((hidden_size,)), name="bias_o")
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        joint = concatenate([x, h], axis=-1)
+        input_gate = (joint @ self.weight_i + self.bias_i).sigmoid()
+        forget_gate = (joint @ self.weight_f + self.bias_f).sigmoid()
+        candidate = (joint @ self.weight_g + self.bias_g).tanh()
+        output_gate = (joint @ self.weight_o + self.bias_o).sigmoid()
+        c_next = forget_gate * c + input_gate * candidate
+        h_next = output_gate * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """Multi-step LSTM over ``(batch, time, features)`` sequences."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        batch, steps, _features = x.shape
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h, c = state
+        outputs = []
+        for t in range(steps):
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        return stack(outputs, axis=1), (h, c)

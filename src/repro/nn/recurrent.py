@@ -1,0 +1,72 @@
+"""Recurrent layers: GRU cell and multi-step GRU.
+
+The INCREASE baseline (Zheng et al., WWW 2023) encodes temporal patterns
+with GRUs; DCRNN-style models in the related-work section do the same.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, concatenate, stack
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Single gated recurrent unit step.
+
+    Follows the standard formulation::
+
+        r = sigmoid([x, h] W_r + b_r)
+        z = sigmoid([x, h] W_z + b_z)
+        n = tanh([x, r * h] W_n + b_n)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else init.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        joint = input_size + hidden_size
+        self.weight_r = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_r")
+        self.weight_z = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_z")
+        self.weight_n = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_n")
+        self.bias_r = Parameter(init.zeros((hidden_size,)), name="bias_r")
+        self.bias_z = Parameter(init.zeros((hidden_size,)), name="bias_z")
+        self.bias_n = Parameter(init.zeros((hidden_size,)), name="bias_n")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        joint = concatenate([x, h], axis=-1)
+        reset = (joint @ self.weight_r + self.bias_r).sigmoid()
+        update = (joint @ self.weight_z + self.bias_z).sigmoid()
+        candidate_in = concatenate([x, reset * h], axis=-1)
+        candidate = (candidate_in @ self.weight_n + self.bias_n).tanh()
+        one = Tensor(np.ones_like(update.data))
+        return (one - update) * candidate + update * h
+
+
+class GRU(Module):
+    """Multi-step GRU over ``(batch, time, features)`` sequences.
+
+    Returns the full hidden sequence ``(batch, time, hidden)`` and the final
+    hidden state ``(batch, hidden)``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, h0: Tensor | None = None) -> tuple[Tensor, Tensor]:
+        batch, steps, _features = x.shape
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(steps):
+            h = self.cell(x[:, t, :], h)
+            outputs.append(h)
+        return stack(outputs, axis=1), h

@@ -1,0 +1,6 @@
+"""Gradient-based optimisers (Adam per the paper, plus SGD and schedulers)."""
+
+from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from .schedulers import CosineAnnealingLR, StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineAnnealingLR"]

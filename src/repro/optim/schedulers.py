@@ -1,0 +1,48 @@
+"""Learning-rate schedules attached to an :class:`~repro.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+
+from .optimizers import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimiser's learning rate."""
+        self.epoch += 1
+        exponent = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** exponent)
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimiser's learning rate."""
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        ratio = self.epoch / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * ratio))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cosine

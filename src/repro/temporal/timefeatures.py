@@ -1,0 +1,34 @@
+"""Time-of-day features (paper §3.4.1, temporal attention).
+
+Each observation interval in a day gets an interval id in ``[0, T_d - 1]``;
+an input window of length T carries the ids of its T intervals, which the
+model embeds and fuses multiplicatively with the observations (Eq. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["interval_ids", "time_of_day_window", "normalised_time_encoding"]
+
+
+def interval_ids(num_steps: int, steps_per_day: int, start: int = 0) -> np.ndarray:
+    """Interval ids for ``num_steps`` consecutive observations.
+
+    ``start`` is the id of the first step (wraps modulo ``steps_per_day``).
+    """
+    if steps_per_day <= 0:
+        raise ValueError("steps_per_day must be positive")
+    return (start + np.arange(num_steps)) % steps_per_day
+
+
+def time_of_day_window(window_start: int, length: int, steps_per_day: int) -> np.ndarray:
+    """The TE vector for an input window starting at global step ``window_start``."""
+    return interval_ids(length, steps_per_day, start=window_start)
+
+
+def normalised_time_encoding(ids: np.ndarray, steps_per_day: int) -> np.ndarray:
+    """Scale interval ids to [0, 1] for use as continuous model input."""
+    if steps_per_day <= 1:
+        return np.zeros_like(np.asarray(ids, dtype=float))
+    return np.asarray(ids, dtype=float) / float(steps_per_day - 1)

@@ -1,0 +1,14 @@
+"""Text-based visualisation (no plotting dependencies available).
+
+Reproduces the paper's illustrative figures as terminal-renderable art:
+
+* :func:`scatter_map` — sensor distribution maps (paper Fig. 5) and split
+  visualisations with per-set markers (Fig. 6 left, Fig. 11);
+* :func:`series_plot` — observation/prediction curves (Fig. 6 right);
+* :func:`matrix_density` — adjacency sparsity view (Fig. 7);
+* :func:`sparkline` — compact training-curve rendering for logs.
+"""
+
+from .render import matrix_density, scatter_map, series_plot, sparkline, split_map
+
+__all__ = ["scatter_map", "split_map", "series_plot", "matrix_density", "sparkline"]

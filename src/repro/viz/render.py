@@ -1,0 +1,151 @@
+"""Character-grid renderers for maps, matrices, and series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scatter_map", "split_map", "series_plot", "matrix_density", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _grid(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _to_cells(coords: np.ndarray, width: int, height: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map planar coordinates to character-grid cells (row 0 = top)."""
+    coords = np.asarray(coords, dtype=float)
+    x, y = coords[:, 0], coords[:, 1]
+    span_x = max(x.max() - x.min(), 1e-9)
+    span_y = max(y.max() - y.min(), 1e-9)
+    col = np.clip(((x - x.min()) / span_x * (width - 1)).round().astype(int), 0, width - 1)
+    row = np.clip(((y.max() - y) / span_y * (height - 1)).round().astype(int), 0, height - 1)
+    return row, col
+
+
+def scatter_map(
+    coords: np.ndarray,
+    width: int = 60,
+    height: int = 20,
+    marker: str = "o",
+    labels: np.ndarray | None = None,
+) -> str:
+    """Render sensor positions as a character map (paper Fig. 5).
+
+    Parameters
+    ----------
+    coords:
+        ``(N, 2)`` planar coordinates.
+    width / height:
+        Character-grid size.
+    marker:
+        Character used when ``labels`` is None.
+    labels:
+        Optional ``(N,)`` array of single-character markers per sensor.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2 or coords.shape[1] != 2 or len(coords) == 0:
+        raise ValueError("coords must be a non-empty (N, 2) array")
+    if width < 2 or height < 2:
+        raise ValueError("grid must be at least 2x2")
+    grid = _grid(width, height)
+    rows, cols = _to_cells(coords, width, height)
+    for index, (r, c) in enumerate(zip(rows, cols)):
+        grid[r][c] = str(labels[index]) if labels is not None else marker
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def split_map(coords: np.ndarray, split, width: int = 60, height: int = 20) -> str:
+    """Render a :class:`~repro.data.splits.SpaceSplit` (paper Figs. 6/11).
+
+    Markers: ``T`` training, ``V`` validation, ``U`` unobserved/test —
+    mirroring the paper's red/pink/blue dots.
+    """
+    coords = np.asarray(coords, dtype=float)
+    labels = np.full(len(coords), "?", dtype=object)
+    labels[split.train] = "T"
+    labels[split.validation] = "V"
+    labels[split.test] = "U"
+    legend = "T=train  V=validation  U=unobserved (test)"
+    return scatter_map(coords, width=width, height=height, labels=labels) + "\n" + legend
+
+
+def series_plot(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Render one or more aligned 1-D series as an ASCII chart.
+
+    Each entry uses the first character of its name as the plot marker;
+    later series overwrite earlier ones where they collide.
+    """
+    if not series:
+        raise ValueError("series_plot needs at least one series")
+    arrays = {name: np.asarray(values, dtype=float).ravel() for name, values in series.items()}
+    length = max(len(v) for v in arrays.values())
+    if length < 2:
+        raise ValueError("series must have at least 2 points")
+    for name, values in arrays.items():
+        if not np.all(np.isfinite(values)):
+            raise ValueError(f"series {name!r} contains non-finite values")
+    low = min(v.min() for v in arrays.values())
+    high = max(v.max() for v in arrays.values())
+    span = max(high - low, 1e-9)
+    grid = _grid(width, height)
+    for name, values in arrays.items():
+        marker = name[0] if name else "*"
+        xs = np.linspace(0, width - 1, len(values)).round().astype(int)
+        ys = np.clip(
+            ((high - values) / span * (height - 1)).round().astype(int), 0, height - 1
+        )
+        for c, r in zip(xs, ys):
+            grid[r][c] = marker
+    lines = ["".join(line) for line in grid]
+    header = "  ".join(f"{name[0]}={name}" for name in arrays)
+    scale = f"[{low:.2f} .. {high:.2f}]"
+    return header + "\n" + "\n".join(lines) + "\n" + scale
+
+
+def matrix_density(matrix: np.ndarray, max_size: int = 60) -> str:
+    """Render a matrix's non-zero structure (paper Fig. 7).
+
+    Large matrices are block-aggregated down to ``max_size``; a cell is
+    drawn by the fraction of non-zeros in its block ('.' sparse, '#' dense).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("matrix_density expects a 2-D array")
+    binary = (matrix != 0).astype(float)
+    n, m = binary.shape
+    step_r = max(1, int(np.ceil(n / max_size)))
+    step_c = max(1, int(np.ceil(m / max_size)))
+    rows = []
+    shades = " .:*#"
+    for r0 in range(0, n, step_r):
+        row = []
+        for c0 in range(0, m, step_c):
+            block = binary[r0 : r0 + step_r, c0 : c0 + step_c]
+            level = int(round(block.mean() * (len(shades) - 1)))
+            row.append(shades[level])
+        rows.append("".join(row))
+    density = binary.mean()
+    return "\n".join(rows) + f"\n(density {density:.3f})"
+
+
+def sparkline(values: np.ndarray, width: int | None = None) -> str:
+    """One-line unicode sparkline of a numeric series (training curves)."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("sparkline needs at least one value")
+    if width is not None and values.size > width:
+        # Average into `width` buckets.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    low, high = values.min(), values.max()
+    span = max(high - low, 1e-12)
+    levels = ((values - low) / span * (len(_SPARK_LEVELS) - 1)).round().astype(int)
+    return "".join(_SPARK_LEVELS[level] for level in levels)

@@ -1,0 +1,112 @@
+"""New activation ops: leaky_relu, elu, gelu, softplus.
+
+Each op gets a value check against its definition and a finite-difference
+gradient check, plus hypothesis sweeps over random shapes.  Inputs are
+nudged away from the kink points so central differences are valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients, elu, gelu, leaky_relu, softplus
+
+
+def _smooth_input(seed: int, shape=(3, 4)) -> Tensor:
+    """Random values kept away from 0 (the ReLU-family kink)."""
+    data = np.random.default_rng(seed).normal(size=shape)
+    data = np.where(np.abs(data) < 0.05, 0.1, data)
+    return Tensor(data, requires_grad=True)
+
+
+class TestLeakyReLU:
+    def test_values(self):
+        x = Tensor(np.array([-2.0, 0.0, 3.0]))
+        out = leaky_relu(x, negative_slope=0.1).numpy()
+        assert np.allclose(out, [-0.2, 0.0, 3.0])
+
+    def test_positive_side_identity(self):
+        x = Tensor(np.array([1.5, 7.0]))
+        assert np.allclose(leaky_relu(x).numpy(), [1.5, 7.0])
+
+    def test_gradient(self):
+        check_gradients(lambda a: leaky_relu(a, 0.2), [_smooth_input(0)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), slope=st.floats(0.01, 0.9))
+    def test_gradient_property(self, seed, slope):
+        check_gradients(lambda a: leaky_relu(a, slope), [_smooth_input(seed)])
+
+
+class TestELU:
+    def test_values(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        out = elu(x, alpha=1.0).numpy()
+        assert out[0] == pytest.approx(np.exp(-1.0) - 1.0)
+        assert out[1] == 2.0
+
+    def test_continuous_at_zero(self):
+        left = elu(Tensor(np.array([-1e-9]))).numpy()[0]
+        right = elu(Tensor(np.array([1e-9]))).numpy()[0]
+        assert abs(left - right) < 1e-8
+
+    def test_gradient(self):
+        check_gradients(lambda a: elu(a, alpha=0.7), [_smooth_input(1)])
+
+    def test_no_overflow_for_large_negatives(self):
+        out = elu(Tensor(np.array([-1e4]))).numpy()
+        assert np.isfinite(out[0]) and out[0] == pytest.approx(-1.0)
+
+
+class TestGELU:
+    def test_values_match_reference(self):
+        # Reference values of the tanh-approximated GELU.
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        out = gelu(x).numpy()
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)
+
+    def test_asymptotes(self):
+        out = gelu(Tensor(np.array([30.0, -30.0]))).numpy()
+        assert out[0] == pytest.approx(30.0)
+        assert out[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient(self):
+        check_gradients(gelu, [_smooth_input(2)])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_gradient_property(self, seed):
+        check_gradients(gelu, [_smooth_input(seed, shape=(2, 3))])
+
+
+class TestSoftplus:
+    def test_values(self):
+        x = Tensor(np.array([0.0]))
+        assert softplus(x).numpy()[0] == pytest.approx(np.log(2.0))
+
+    def test_approaches_relu_for_large_beta(self):
+        x = Tensor(np.array([-2.0, 2.0]))
+        out = softplus(x, beta=50.0).numpy()
+        assert out[0] == pytest.approx(0.0, abs=1e-3)
+        assert out[1] == pytest.approx(2.0, abs=1e-3)
+
+    def test_stable_for_extreme_inputs(self):
+        out = softplus(Tensor(np.array([-1e4, 1e4]))).numpy()
+        assert np.all(np.isfinite(out))
+        assert out[1] == pytest.approx(1e4)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            softplus(Tensor(np.zeros(2)), beta=0.0)
+
+    def test_gradient(self):
+        check_gradients(lambda a: softplus(a, beta=1.5), [_smooth_input(3)])
+
+    def test_output_always_positive(self):
+        x = Tensor(np.linspace(-5, 5, 21))
+        assert np.all(softplus(x).numpy() > 0)

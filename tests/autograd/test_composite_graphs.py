@@ -1,0 +1,109 @@
+"""Stress tests: composite graphs resembling the real model's structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, concatenate, maximum, softmax
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestCompositeGradients:
+    def test_mini_gcn_block(self, rng):
+        """adjacency @ X @ W with gating — the GCNL pattern."""
+        adjacency = Tensor(rng.random((4, 4)))
+        x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        w1 = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        w2 = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+
+        def gcnl(x_, w1_, w2_):
+            value = adjacency @ x_ @ w1_
+            gate = (adjacency @ x_ @ w2_).sigmoid()
+            return value * gate
+
+        check_gradients(gcnl, [x, w1, w2], atol=1e-4)
+
+    def test_branch_max_fusion(self, rng):
+        """max(branch_a, branch_b) routes gradients to the winner."""
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        wa = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        wb = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        check_gradients(lambda x_, a, b: maximum(x_ @ a, x_ @ b), [x, wa, wb], atol=1e-4)
+
+    def test_residual_tower(self, rng):
+        """Stacked residual blocks (x + f(x)) keep gradients exact."""
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(5, 5)) * 0.3, requires_grad=True)
+
+        def tower(x_, w_):
+            h = x_
+            for _ in range(4):
+                h = h + (h @ w_).tanh()
+            return h
+
+        check_gradients(tower, [x, w], atol=1e-4)
+
+    def test_attention_pattern(self, rng):
+        """softmax(QK^T)V — scaled dot-product attention core."""
+        q = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        k = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+
+        def attention(q_, k_, v_):
+            scores = q_ @ k_.transpose(0, 2, 1) * 0.5
+            return softmax(scores, axis=-1) @ v_
+
+        check_gradients(attention, [q, k, v], atol=1e-4)
+
+    def test_contrastive_pattern(self, rng):
+        """Normalised similarity matrix + log-softmax diagonal extraction."""
+        from repro.nn import nt_xent_loss
+
+        a = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        check_gradients(lambda x, y: nt_xent_loss(x, y), [a, b], atol=1e-4)
+
+    def test_deep_concat_chain(self, rng):
+        parts = [Tensor(rng.normal(size=(2, 3)), requires_grad=True) for _ in range(4)]
+
+        def chain(*ps):
+            joined = concatenate(list(ps), axis=1)
+            return (joined @ joined.transpose()).sum(axis=1)
+
+        check_gradients(chain, parts, atol=1e-4)
+
+
+class TestGraphMechanics:
+    def test_shared_subexpression_counted_once_per_path(self, rng):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0
+        z = y + y  # two paths through y
+        z.sum().backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_long_chain_no_recursion_error(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        h = x
+        for _ in range(3000):  # would blow Python's stack if recursive
+            h = h + 1.0
+        h.sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0])
+
+    def test_grad_accumulates_over_two_backwards(self, rng):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2.0).sum().backward()
+        first = x.grad.copy()
+        (x * 2.0).sum().backward()
+        assert np.allclose(x.grad, first * 2)
+
+    def test_float32_preserved(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = (x * 2.0).sum()
+        assert x.dtype == np.float32
+        out.backward()
+        assert x.grad.dtype == np.float32

@@ -1,0 +1,76 @@
+"""Property-based gradient checks with hypothesis.
+
+Random shapes and values exercise broadcasting paths and composite graphs
+that the unit tests do not enumerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients, concatenate, softmax
+
+_dims = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def _arrays(draw, *shape_dims):
+    shape = tuple(draw(dim) for dim in shape_dims)
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    data = np.random.default_rng(seed).normal(size=shape)
+    return Tensor(data, requires_grad=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(_dims, _dims))
+def test_sigmoid_tanh_chain(x):
+    check_gradients(lambda a: a.sigmoid().tanh(), [x])
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(_dims, _dims), st.integers(min_value=0, max_value=1))
+def test_sum_then_mul(x, axis):
+    axis = min(axis, x.ndim - 1)
+    check_gradients(lambda a: a.sum(axis=axis) * 3.0, [x])
+
+
+@settings(max_examples=25, deadline=None)
+@given(_arrays(_dims, _dims))
+def test_softmax_rows_sum_to_one(x):
+    out = softmax(x, axis=-1).numpy()
+    assert np.allclose(out.sum(axis=-1), 1.0)
+    assert np.all(out >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=2, max_value=5))
+def test_matmul_associativity_of_gradients(n, m):
+    rng = np.random.default_rng(n * 31 + m)
+    a = Tensor(rng.normal(size=(n, m)), requires_grad=True)
+    b = Tensor(rng.normal(size=(m, n)), requires_grad=True)
+    check_gradients(lambda x, y: (x @ y).tanh(), [a, b])
+
+
+@settings(max_examples=20, deadline=None)
+@given(_arrays(_dims, _dims), _arrays(_dims, _dims))
+def test_concatenate_gradient_partitions(a, b):
+    if a.shape[1] != b.shape[1]:
+        b = Tensor(np.random.default_rng(0).normal(size=(b.shape[0], a.shape[1])), requires_grad=True)
+    out = concatenate([a, b], axis=0)
+    out.sum().backward()
+    assert np.allclose(a.grad, np.ones(a.shape))
+    assert np.allclose(b.grad, np.ones(b.shape))
+
+
+@settings(max_examples=20, deadline=None)
+@given(_arrays(_dims, _dims))
+def test_linearity_of_backward(x):
+    """grad of (2f) should be exactly twice grad of f."""
+    x.zero_grad()
+    (x * x).sum().backward()
+    single = x.grad.copy()
+    x.zero_grad()
+    ((x * x) * 2.0).sum().backward()
+    assert np.allclose(x.grad, 2.0 * single)

@@ -1,0 +1,184 @@
+"""GE-GAN, IGNNK, INCREASE: components and end-to-end behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines import (
+    DiffusionGCN,
+    GEGANForecaster,
+    IGNNKForecaster,
+    IGNNKNetwork,
+    INCREASEForecaster,
+    INCREASENetwork,
+    most_similar_nodes,
+    spectral_embedding,
+)
+from repro.baselines.ignnk import _transition_matrices
+from repro.data import temporal_split
+from repro.evaluation import forecast_window_starts
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    from repro.data.synthetic import make_pems_bay
+
+    return make_pems_bay(num_sensors=20, num_days=3, seed=13)
+
+
+@pytest.fixture(scope="module")
+def split(traffic):
+    from repro.data import space_split
+
+    return space_split(traffic.coords, "horizontal")
+
+
+@pytest.fixture(scope="module")
+def spec():
+    from repro.data import WindowSpec
+
+    return WindowSpec(input_length=6, horizon=6)
+
+
+class TestSpectralEmbedding:
+    def test_shape(self):
+        adj = np.ones((6, 6)) - np.eye(6)
+        emb = spectral_embedding(adj, dim=3)
+        assert emb.shape == (6, 3)
+
+    def test_dim_clipped(self):
+        adj = np.ones((3, 3)) - np.eye(3)
+        emb = spectral_embedding(adj, dim=10)
+        assert emb.shape == (3, 2)
+
+    def test_communities_cluster(self):
+        # Two cliques joined by one edge: embeddings within a clique are
+        # closer than across cliques.
+        adj = np.zeros((6, 6))
+        adj[:3, :3] = 1
+        adj[3:, 3:] = 1
+        np.fill_diagonal(adj, 0)
+        adj[2, 3] = adj[3, 2] = 1
+        emb = spectral_embedding(adj, dim=2)
+        within = np.linalg.norm(emb[0] - emb[1])
+        across = np.linalg.norm(emb[0] - emb[4])
+        assert within < across
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            spectral_embedding(np.zeros((1, 1)))
+
+    def test_most_similar_excludes_target(self):
+        emb = np.arange(10, dtype=float)[:, None]
+        out = most_similar_nodes(emb, 5, np.arange(10), k=3)
+        assert 5 not in out
+        assert set(out) == {4, 6, 3} or set(out) == {4, 6, 7}
+
+    def test_most_similar_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            most_similar_nodes(np.zeros((3, 2)), 0, np.array([0]), k=1)
+
+
+class TestIGNNKComponents:
+    def test_transition_matrices_stochastic(self):
+        adj = np.array([[0.0, 2.0], [1.0, 0.0]])
+        forward, backward = _transition_matrices(adj)
+        assert np.allclose(forward.sum(axis=1), 1.0)
+        assert np.allclose(backward.sum(axis=1), 1.0)
+
+    def test_dgcn_shape(self):
+        layer = DiffusionGCN(6, 4, diffusion_steps=2)
+        adj = np.random.default_rng(0).random((5, 5))
+        forward, backward = _transition_matrices(adj)
+        out = layer(Tensor(forward), Tensor(backward), Tensor(np.random.default_rng(1).normal(size=(2, 5, 6))))
+        assert out.shape == (2, 5, 4)
+
+    def test_dgcn_parameters_registered(self):
+        layer = DiffusionGCN(3, 3, diffusion_steps=3)
+        names = [name for name, _p in layer.named_parameters()]
+        assert len([n for n in names if n.startswith("wf")]) == 3
+        assert len([n for n in names if n.startswith("wb")]) == 3
+
+    def test_network_maps_window_to_horizon(self):
+        net = IGNNKNetwork(input_length=6, horizon=4, hidden=8)
+        adj = np.random.default_rng(0).random((5, 5))
+        forward, backward = _transition_matrices(adj)
+        out = net(Tensor(forward), Tensor(backward), Tensor(np.zeros((2, 5, 6))))
+        assert out.shape == (2, 5, 4)
+
+
+class TestIGNNKEndToEnd:
+    def test_fit_predict(self, traffic, split, spec):
+        model = IGNNKForecaster(iterations=30, hidden=12)
+        train_ix, _ = temporal_split(traffic.num_steps)
+        report = model.fit(traffic, split, spec, train_ix)
+        assert report.epochs == 30
+        starts = forecast_window_starts(traffic, spec, max_windows=4)
+        out = model.predict(starts)
+        assert out.shape == (4, spec.horizon, len(split.unobserved))
+        assert np.all(np.isfinite(out))
+
+    def test_loss_decreases(self, traffic, split, spec):
+        model = IGNNKForecaster(iterations=60, hidden=12)
+        train_ix, _ = temporal_split(traffic.num_steps)
+        report = model.fit(traffic, split, spec, train_ix)
+        assert np.mean(report.history[-10:]) < np.mean(report.history[:10])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            IGNNKForecaster().predict(np.array([0]))
+
+
+class TestINCREASEEndToEnd:
+    def test_network_shapes(self):
+        net = INCREASENetwork(num_relations=2, horizon=5, hidden=8)
+        inputs = [Tensor(np.random.default_rng(i).normal(size=(3, 6, 1))) for i in range(2)]
+        out = net(inputs)
+        assert out.shape == (3, 5)
+
+    def test_fit_predict(self, traffic, split, spec):
+        model = INCREASEForecaster(iterations=30, hidden=12)
+        train_ix, _ = temporal_split(traffic.num_steps)
+        model.fit(traffic, split, spec, train_ix)
+        starts = forecast_window_starts(traffic, spec, max_windows=3)
+        out = model.predict(starts)
+        assert out.shape == (3, spec.horizon, len(split.unobserved))
+
+    def test_relation_scores_cover_both_relations(self, traffic, split, spec):
+        model = INCREASEForecaster(iterations=1)
+        train_ix, _ = temporal_split(traffic.num_steps)
+        model.fit(traffic, split, spec, train_ix)
+        assert len(model._scores) == 2
+        for scores in model._scores:
+            assert scores.shape == (traffic.num_locations, traffic.num_locations)
+
+    def test_loss_decreases(self, traffic, split, spec):
+        model = INCREASEForecaster(iterations=60, hidden=12)
+        train_ix, _ = temporal_split(traffic.num_steps)
+        report = model.fit(traffic, split, spec, train_ix)
+        assert np.mean(report.history[-10:]) < np.mean(report.history[:10])
+
+
+class TestGEGANEndToEnd:
+    def test_fit_predict(self, traffic, split, spec):
+        model = GEGANForecaster(iterations=40, hidden=24)
+        train_ix, _ = temporal_split(traffic.num_steps)
+        model.fit(traffic, split, spec, train_ix)
+        starts = forecast_window_starts(traffic, spec, max_windows=3)
+        out = model.predict(starts)
+        assert out.shape == (3, spec.horizon, len(split.unobserved))
+        assert np.all(np.isfinite(out))
+
+    def test_similar_locations_are_observed(self, traffic, split, spec):
+        model = GEGANForecaster(iterations=1)
+        train_ix, _ = temporal_split(traffic.num_steps)
+        model.fit(traffic, split, spec, train_ix)
+        for node, sims in model._similar.items():
+            assert set(sims) <= set(split.observed)
+            assert node not in sims
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GEGANForecaster().predict(np.array([0]))

@@ -1,0 +1,90 @@
+"""Naive reference forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HistoricalAverageForecaster,
+    IDWPersistenceForecaster,
+    NearestObservedForecaster,
+)
+from repro.data import temporal_split
+from repro.evaluation import evaluate_forecaster, forecast_window_starts
+
+
+@pytest.mark.parametrize(
+    "forecaster_cls",
+    [HistoricalAverageForecaster, NearestObservedForecaster, IDWPersistenceForecaster],
+)
+class TestNaiveForecasters:
+    def test_shapes(self, forecaster_cls, tiny_traffic, tiny_split, tiny_spec):
+        model = forecaster_cls()
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        starts = forecast_window_starts(tiny_traffic, tiny_spec, max_windows=5)
+        out = model.predict(starts)
+        assert out.shape == (len(starts), tiny_spec.horizon, len(tiny_split.unobserved))
+        assert np.all(np.isfinite(out))
+
+    def test_reasonable_errors(self, forecaster_cls, tiny_traffic, tiny_split, tiny_spec):
+        result = evaluate_forecaster(
+            forecaster_cls(), tiny_traffic, tiny_split, tiny_spec, max_test_windows=8
+        )
+        # Sanity band: errors should be non-trivial but far from divergent.
+        assert 0 < result.metrics.rmse < tiny_traffic.values.std() * 5
+
+
+class TestHistoricalAverageSemantics:
+    def test_prediction_follows_time_of_day(self, tiny_traffic, tiny_split, tiny_spec):
+        model = HistoricalAverageForecaster()
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        spd = tiny_traffic.steps_per_day
+        # Two windows 12 hours apart should produce different predictions.
+        start_night = spd * 2  # midnight of day 3
+        start_rush = spd * 2 + spd // 3  # ~8am of day 3
+        night = model.predict(np.array([start_night]))
+        rush = model.predict(np.array([start_rush]))
+        assert not np.allclose(night, rush)
+
+    def test_all_unobserved_share_profile(self, tiny_traffic, tiny_split, tiny_spec):
+        model = HistoricalAverageForecaster()
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        out = model.predict(np.array([0]))
+        assert np.allclose(out[0, :, 0], out[0, :, -1])
+
+
+class TestNearestObservedSemantics:
+    def test_copies_nearest_sensor(self, tiny_traffic, tiny_split, tiny_spec):
+        model = NearestObservedForecaster()
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        start = 0
+        out = model.predict(np.array([start]))
+        last_step = start + tiny_spec.input_length - 1
+        expected = tiny_traffic.values[last_step, model.nearest[0]]
+        assert out[0, 0, 0] == pytest.approx(expected)
+
+    def test_nearest_is_observed(self, tiny_traffic, tiny_split, tiny_spec):
+        model = NearestObservedForecaster()
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        assert set(model.nearest) <= set(tiny_split.observed)
+
+
+class TestIDWPersistenceSemantics:
+    def test_weights_are_stochastic(self, tiny_traffic, tiny_split, tiny_spec):
+        model = IDWPersistenceForecaster()
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        assert np.allclose(model.weights.sum(axis=1), 1.0)
+
+    def test_constant_over_horizon(self, tiny_traffic, tiny_split, tiny_spec):
+        model = IDWPersistenceForecaster()
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        out = model.predict(np.array([3]))
+        assert np.allclose(out[0, 0], out[0, -1])

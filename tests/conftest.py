@@ -1,0 +1,42 @@
+"""Shared fixtures: small deterministic datasets and splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import WindowSpec, space_split
+from repro.data.synthetic import make_airq, make_melbourne, make_pems_bay
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_traffic():
+    """A 24-sensor, 3-day highway dataset — small enough for training tests."""
+    return make_pems_bay(num_sensors=24, num_days=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_urban():
+    """A 20-sensor, 3-day urban dataset."""
+    return make_melbourne(num_sensors=20, num_days=3, seed=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_airq():
+    """A 16-station, 12-day air-quality dataset."""
+    return make_airq(num_sensors=16, num_days=12, seed=9)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_traffic):
+    return space_split(tiny_traffic.coords, "horizontal")
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    return WindowSpec(input_length=8, horizon=8)

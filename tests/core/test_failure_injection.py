@@ -1,0 +1,98 @@
+"""Failure injection: the forecaster must fail loudly on bad inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import STSMConfig, STSMForecaster
+from repro.data import SpaceSplit, WindowSpec
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    from repro.data.synthetic import make_pems_bay
+
+    return make_pems_bay(num_sensors=16, num_days=2, seed=51)
+
+
+_FAST = STSMConfig(hidden_dim=8, num_blocks=1, gcn_depth=1, epochs=1,
+                   patience=1, batch_size=8, window_stride=8, top_k=5)
+
+
+class TestFitValidation:
+    def test_training_period_too_short(self, traffic):
+        from repro.data import space_split
+
+        split = space_split(traffic.coords, "horizontal")
+        model = STSMForecaster(_FAST)
+        with pytest.raises(ValueError, match="window"):
+            model.fit(traffic, split, WindowSpec(64, 64), np.arange(100))
+
+    def test_too_few_observed(self, traffic):
+        n = traffic.num_locations
+        split = SpaceSplit(
+            train=np.array([0]),
+            validation=np.array([1]),
+            test=np.arange(2, n),
+            name="tiny-observed",
+        )
+        model = STSMForecaster(_FAST)
+        with pytest.raises(ValueError, match="observed"):
+            model.fit(traffic, split, WindowSpec(8, 8), np.arange(traffic.num_steps))
+
+    def test_invalid_config_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            STSMForecaster(STSMConfig(mask_ratio=2.0))
+
+    def test_road_mode_without_network(self):
+        from repro.data import space_split
+        from repro.data.synthetic import make_airq
+
+        airq = make_airq(num_sensors=12, num_days=5, seed=1)
+        split = space_split(airq.coords, "horizontal")
+        model = STSMForecaster(_FAST.replace(distance_mode="road_all"))
+        with pytest.raises(ValueError, match="road network"):
+            model.fit(airq, split, WindowSpec(8, 8), np.arange(airq.num_steps))
+
+
+class TestNumericalRobustness:
+    def test_constant_values_train_without_nan(self, traffic):
+        """Zero-variance data must not produce NaNs (scaler guards)."""
+        from repro.data import space_split
+        from repro.data.dataset import SpatioTemporalDataset
+
+        flat = SpatioTemporalDataset(
+            name="flat",
+            values=np.full_like(traffic.values, 55.0),
+            coords=traffic.coords,
+            steps_per_day=traffic.steps_per_day,
+            features=traffic.features,
+            interval_minutes=traffic.interval_minutes,
+        )
+        split = space_split(flat.coords, "horizontal")
+        model = STSMForecaster(_FAST)
+        model.fit(flat, split, WindowSpec(8, 8), np.arange(flat.num_steps * 7 // 10))
+        out = model.predict(np.array([flat.num_steps - 16]))
+        assert np.all(np.isfinite(out))
+
+    def test_duplicate_coordinates_handled(self, traffic):
+        """Coincident sensors must not break IDW or adjacency kernels."""
+        from repro.data import space_split
+        from repro.data.dataset import SpatioTemporalDataset
+
+        coords = traffic.coords.copy()
+        coords[1] = coords[0]  # exact duplicate
+        dup = SpatioTemporalDataset(
+            name="dup",
+            values=traffic.values,
+            coords=coords,
+            steps_per_day=traffic.steps_per_day,
+            features=traffic.features,
+            interval_minutes=traffic.interval_minutes,
+        )
+        split = space_split(dup.coords, "horizontal")
+        model = STSMForecaster(_FAST)
+        model.fit(dup, split, WindowSpec(8, 8), np.arange(dup.num_steps * 7 // 10))
+        out = model.predict(np.array([dup.num_steps - 16]))
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,166 @@
+"""Selective-masking features and both masking strategies (paper §3.3/§4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SelectiveMasker,
+    compute_subgraph_similarity,
+    cosine_similarities,
+    normalise_feature_columns,
+    random_subgraph_mask,
+    region_embedding,
+    selective_masking_probabilities,
+    spatial_proximities,
+    subgraph_embeddings,
+)
+from repro.data import space_split
+from repro.data.dataset import LocationFeatures
+from repro.graph import euclidean_distance_matrix, gaussian_kernel_adjacency
+
+
+def _chain_adjacency(n):
+    adj = np.zeros((n, n))
+    for i in range(n - 1):
+        adj[i, i + 1] = adj[i + 1, i] = 1
+    return adj
+
+
+class TestFeatureNormalisation:
+    def test_columns_in_unit_range(self):
+        rng = np.random.default_rng(0)
+        emb = rng.uniform(-5, 100, size=(10, 6))
+        out = normalise_feature_columns(emb)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert np.allclose(out.min(axis=0), 0.0)
+        assert np.allclose(out.max(axis=0), 1.0)
+
+    def test_constant_column_does_not_nan(self):
+        emb = np.ones((5, 3))
+        out = normalise_feature_columns(emb)
+        assert np.all(np.isfinite(out))
+
+
+class TestSubgraphEmbeddings:
+    def test_mean_over_members(self):
+        adj = _chain_adjacency(3)
+        emb = np.array([[0.0], [3.0], [6.0]])
+        out = subgraph_embeddings(emb, adj)
+        # Node 0's sub-graph = {0, 1} -> 1.5; node 1's = {0,1,2} -> 3.0.
+        assert out[0, 0] == pytest.approx(1.5)
+        assert out[1, 0] == pytest.approx(3.0)
+
+    def test_isolated_node_keeps_own_embedding(self):
+        adj = np.zeros((2, 2))
+        emb = np.array([[1.0], [9.0]])
+        out = subgraph_embeddings(emb, adj)
+        assert np.allclose(out, emb)
+
+    def test_region_embedding_mean(self):
+        emb = np.array([[0.0], [2.0], [10.0]])
+        assert region_embedding(emb, np.array([0, 1]))[0] == pytest.approx(1.0)
+
+    def test_region_embedding_empty_rejected(self):
+        with pytest.raises(ValueError):
+            region_embedding(np.ones((3, 2)), np.array([], dtype=int))
+
+    def test_cosine_similarity_identical(self):
+        emb = np.array([[1.0, 0.0], [0.0, 1.0]])
+        sims = cosine_similarities(emb, np.array([1.0, 0.0]))
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[1] == pytest.approx(0.0)
+
+    def test_spatial_proximity_decreases_with_distance(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        prox = spatial_proximities(coords, np.array([1, 2]), np.array([0]))
+        assert prox[0] > prox[1]
+
+
+class TestRandomMasking:
+    def test_reaches_target_ratio(self):
+        adj = _chain_adjacency(20)
+        rng = np.random.default_rng(0)
+        masked = random_subgraph_mask(adj, 0.5, rng)
+        assert len(masked) >= 10
+
+    def test_masks_whole_subgraphs(self):
+        adj = _chain_adjacency(10)
+        rng = np.random.default_rng(1)
+        masked = set(random_subgraph_mask(adj, 0.3, rng).tolist())
+        # Contiguity: some masked node must have a masked neighbour
+        # (sub-graphs are seed + neighbours on a chain).
+        assert any((i + 1) in masked or (i - 1) in masked for i in masked)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            random_subgraph_mask(_chain_adjacency(5), 1.5, np.random.default_rng(0))
+
+    def test_deterministic_under_seed(self):
+        adj = _chain_adjacency(12)
+        a = random_subgraph_mask(adj, 0.4, np.random.default_rng(7))
+        b = random_subgraph_mask(adj, 0.4, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestSelectiveMasking:
+    def _make_similarity(self, tiny_traffic, split):
+        distances = euclidean_distance_matrix(tiny_traffic.coords)
+        sigma = distances[~np.eye(len(distances), dtype=bool)].std() * 0.35
+        a_sg = gaussian_kernel_adjacency(distances, 0.5, sigma=sigma)
+        return compute_subgraph_similarity(
+            tiny_traffic.features, tiny_traffic.coords, a_sg,
+            split.observed, split.unobserved,
+        ), a_sg
+
+    def test_probabilities_in_range(self, tiny_traffic, tiny_split):
+        similarity, a_sg = self._make_similarity(tiny_traffic, tiny_split)
+        obs_ix = np.ix_(tiny_split.observed, tiny_split.observed)
+        probs = selective_masking_probabilities(similarity, 0.5, a_sg[obs_ix], top_k=5)
+        assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+
+    def test_top_k_zeroes_rest(self, tiny_traffic, tiny_split):
+        similarity, a_sg = self._make_similarity(tiny_traffic, tiny_split)
+        obs_ix = np.ix_(tiny_split.observed, tiny_split.observed)
+        probs = selective_masking_probabilities(similarity, 0.5, a_sg[obs_ix], top_k=3)
+        assert np.count_nonzero(probs) <= 2 * 3  # top-k in both score vectors
+
+    def test_invalid_args_rejected(self, tiny_traffic, tiny_split):
+        similarity, a_sg = self._make_similarity(tiny_traffic, tiny_split)
+        obs_ix = np.ix_(tiny_split.observed, tiny_split.observed)
+        with pytest.raises(ValueError):
+            selective_masking_probabilities(similarity, 0.0, a_sg[obs_ix], top_k=3)
+        with pytest.raises(ValueError):
+            selective_masking_probabilities(similarity, 0.5, a_sg[obs_ix], top_k=0)
+
+    def test_draw_always_masks_something(self, tiny_traffic, tiny_split):
+        similarity, a_sg = self._make_similarity(tiny_traffic, tiny_split)
+        obs_ix = np.ix_(tiny_split.observed, tiny_split.observed)
+        masker = SelectiveMasker(similarity, a_sg[obs_ix], 0.5, top_k=5)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            masked = masker.draw(rng)
+            assert len(masked) >= 1
+            assert np.all(masked < len(tiny_split.observed))
+
+    def test_ratio_tracks_target(self, tiny_traffic, tiny_split):
+        similarity, a_sg = self._make_similarity(tiny_traffic, tiny_split)
+        obs_ix = np.ix_(tiny_split.observed, tiny_split.observed)
+        masker = SelectiveMasker(similarity, a_sg[obs_ix], 0.5, top_k=8)
+        rng = np.random.default_rng(1)
+        sizes = [len(masker.draw(rng)) for _ in range(50)]
+        n_obs = len(tiny_split.observed)
+        # With the cap, draws never exceed the target by a whole sub-graph.
+        assert max(sizes) <= int(round(0.5 * n_obs)) + n_obs // 2
+
+    def test_selective_prefers_similar(self, tiny_traffic):
+        """Masked locations should score higher similarity than average."""
+        split = space_split(tiny_traffic.coords, "horizontal")
+        similarity, a_sg = self._make_similarity(tiny_traffic, split)
+        obs_ix = np.ix_(split.observed, split.observed)
+        masker = SelectiveMasker(similarity, a_sg[obs_ix], 0.4, top_k=4)
+        rng = np.random.default_rng(3)
+        scores = similarity.embedding_similarity
+        picked = [scores[masker.draw(rng)].mean() for _ in range(30)]
+        assert np.mean(picked) >= scores.mean() - 1e-9

@@ -1,0 +1,171 @@
+"""Integration tests: STSM end-to-end fit/predict on tiny datasets.
+
+Marked slow-ish: each test fits a reduced network for a few epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import HistoricalAverageForecaster
+from repro.core import (
+    STSMConfig,
+    STSMForecaster,
+    compute_distance_matrices,
+    make_stsm,
+    make_stsm_nc,
+    make_stsm_r,
+    make_stsm_rnc,
+    make_stsm_trans,
+    STSM_VARIANTS,
+)
+from repro.data import WindowSpec, temporal_split
+from repro.evaluation import evaluate_forecaster, forecast_window_starts
+
+_FAST = dict(
+    hidden_dim=8,
+    num_blocks=1,
+    tcn_levels=2,
+    gcn_depth=1,
+    epochs=3,
+    patience=3,
+    batch_size=8,
+    window_stride=8,
+    top_k=5,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_stsm(tiny_traffic_module, tiny_split_module, tiny_spec_module):
+    model = make_stsm(config=STSMConfig(**_FAST))
+    train_ix, _ = temporal_split(tiny_traffic_module.num_steps)
+    model.fit(tiny_traffic_module, tiny_split_module, tiny_spec_module, train_ix)
+    return model
+
+
+# Module-scoped clones of the session fixtures (cheap; reuse generators).
+@pytest.fixture(scope="module")
+def tiny_traffic_module():
+    from repro.data.synthetic import make_pems_bay
+
+    return make_pems_bay(num_sensors=24, num_days=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tiny_split_module(tiny_traffic_module):
+    from repro.data import space_split
+
+    return space_split(tiny_traffic_module.coords, "horizontal")
+
+
+@pytest.fixture(scope="module")
+def tiny_spec_module():
+    return WindowSpec(input_length=8, horizon=8)
+
+
+class TestFitPredict:
+    def test_predict_shape(self, fitted_stsm, tiny_traffic_module, tiny_split_module, tiny_spec_module):
+        starts = forecast_window_starts(tiny_traffic_module, tiny_spec_module, max_windows=4)
+        out = fitted_stsm.predict(starts)
+        assert out.shape == (len(starts), tiny_spec_module.horizon, len(tiny_split_module.unobserved))
+
+    def test_predictions_are_finite_and_in_band(self, fitted_stsm, tiny_traffic_module, tiny_spec_module):
+        starts = forecast_window_starts(tiny_traffic_module, tiny_spec_module, max_windows=4)
+        out = fitted_stsm.predict(starts)
+        assert np.all(np.isfinite(out))
+        values = tiny_traffic_module.values
+        assert out.min() > values.min() - 5 * values.std()
+        assert out.max() < values.max() + 5 * values.std()
+
+    def test_predict_before_fit_raises(self):
+        model = STSMForecaster(STSMConfig(**_FAST))
+        with pytest.raises(RuntimeError):
+            model.predict(np.array([0]))
+
+    def test_training_loss_decreases(self, fitted_stsm):
+        history = None  # fitted in fixture; re-fit quickly to observe loss
+        model = make_stsm_rnc(config=STSMConfig(**{**_FAST, "epochs": 4}))
+        from repro.data.synthetic import make_pems_bay
+        from repro.data import space_split
+
+        ds = make_pems_bay(num_sensors=20, num_days=3, seed=11)
+        split = space_split(ds.coords, "horizontal")
+        train_ix, _ = temporal_split(ds.num_steps)
+        report = model.fit(ds, split, WindowSpec(8, 8), train_ix)
+        history = report.history
+        assert history[-1] < history[0]
+
+    def test_beats_historical_average(self, tiny_traffic_module, tiny_split_module, tiny_spec_module):
+        cfg = STSMConfig(**{**_FAST, "epochs": 8, "window_stride": 4})
+        stsm_res = evaluate_forecaster(
+            make_stsm_nc(config=cfg), tiny_traffic_module, tiny_split_module,
+            tiny_spec_module, max_test_windows=8,
+        )
+        naive_res = evaluate_forecaster(
+            HistoricalAverageForecaster(), tiny_traffic_module, tiny_split_module,
+            tiny_spec_module, max_test_windows=8,
+        )
+        assert stsm_res.metrics.rmse < naive_res.metrics.rmse * 1.2, (
+            f"STSM {stsm_res.metrics.rmse:.2f} vs naive {naive_res.metrics.rmse:.2f}"
+        )
+
+
+class TestVariants:
+    def test_variant_names(self):
+        assert set(STSM_VARIANTS) == {
+            "STSM", "STSM-NC", "STSM-R", "STSM-RNC",
+            "STSM-trans", "STSM-gat", "STSM-rd-a", "STSM-rd-m",
+        }
+
+    def test_variant_flags(self):
+        assert make_stsm_nc().config.contrastive is False
+        assert make_stsm_r().config.selective_masking is False
+        rnc = make_stsm_rnc()
+        assert rnc.config.contrastive is False and rnc.config.selective_masking is False
+        assert make_stsm_trans().config.temporal_module == "transformer"
+
+    def test_dataset_parameter_lookup(self):
+        model = make_stsm("pems-bay")
+        assert model.config.contrastive_weight == 0.01
+        assert model.config.top_k == 35
+        model = make_stsm("airq")
+        assert model.config.top_k == 5
+
+    def test_each_trainable_variant_fits(self, tiny_traffic_module, tiny_split_module, tiny_spec_module):
+        train_ix, _ = temporal_split(tiny_traffic_module.num_steps)
+        cfg = STSMConfig(**{**_FAST, "epochs": 1})
+        for name in ("STSM", "STSM-NC", "STSM-R", "STSM-RNC"):
+            model = STSM_VARIANTS[name](config=cfg)
+            report = model.fit(tiny_traffic_module, tiny_split_module, tiny_spec_module, train_ix)
+            assert report.epochs >= 1
+            starts = forecast_window_starts(tiny_traffic_module, tiny_spec_module, max_windows=2)
+            assert model.predict(starts).shape[0] == 2
+
+
+class TestDistanceModes:
+    def test_euclidean_matrices(self, tiny_traffic_module):
+        adj_d, pseudo_d = compute_distance_matrices(tiny_traffic_module, "euclidean")
+        assert np.allclose(adj_d, pseudo_d)
+
+    def test_road_modes(self, tiny_traffic_module):
+        adj_d, pseudo_d = compute_distance_matrices(tiny_traffic_module, "road_adj_only")
+        assert not np.allclose(adj_d, pseudo_d)
+        assert np.all(np.isfinite(adj_d))
+        adj_d2, pseudo_d2 = compute_distance_matrices(tiny_traffic_module, "road_all")
+        assert np.allclose(adj_d2, pseudo_d2)
+
+    def test_road_mode_without_network_rejected(self, tiny_airq_module):
+        with pytest.raises(ValueError):
+            compute_distance_matrices(tiny_airq_module, "road_all")
+
+    def test_unknown_mode_rejected(self, tiny_traffic_module):
+        with pytest.raises(ValueError):
+            compute_distance_matrices(tiny_traffic_module, "hamming")
+
+
+@pytest.fixture(scope="module")
+def tiny_airq_module():
+    from repro.data.synthetic import make_airq
+
+    return make_airq(num_sensors=12, num_days=10, seed=3)

@@ -1,0 +1,114 @@
+"""Multi-region extension (paper's stated future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    STSMConfig,
+    compute_subgraph_similarity,
+    make_stsm,
+    multi_region_similarity,
+    multi_region_split,
+)
+from repro.core.multiregion import _contiguous_regions
+from repro.data import WindowSpec, temporal_split
+from repro.evaluation import forecast_window_starts
+from repro.graph import euclidean_distance_matrix, gaussian_kernel_adjacency
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    from repro.data.synthetic import make_pems_bay
+
+    return make_pems_bay(num_sensors=28, num_days=3, seed=17)
+
+
+class TestMultiRegionSplit:
+    def test_partition_valid(self, traffic):
+        split = multi_region_split(traffic.coords, 2, rng=np.random.default_rng(0))
+        split.validate(traffic.num_locations)
+
+    def test_ratio_respected(self, traffic):
+        split = multi_region_split(
+            traffic.coords, 2, unobserved_ratio=0.4, rng=np.random.default_rng(1)
+        )
+        assert len(split.unobserved) == pytest.approx(0.4 * traffic.num_locations, abs=2)
+
+    def test_single_region_reduces(self, traffic):
+        split = multi_region_split(traffic.coords, 1, rng=np.random.default_rng(2))
+        split.validate(traffic.num_locations)
+        # One region: unobserved locations are mutually close (contiguous).
+        unobs = traffic.coords[split.unobserved]
+        spread = np.linalg.norm(unobs - unobs.mean(axis=0), axis=1).max()
+        full_spread = np.linalg.norm(
+            traffic.coords - traffic.coords.mean(axis=0), axis=1
+        ).max()
+        assert spread < full_spread
+
+    def test_regions_are_contiguous_patches(self, traffic):
+        split = multi_region_split(traffic.coords, 3, rng=np.random.default_rng(3))
+        regions = _contiguous_regions(traffic.coords, split.unobserved, 3)
+        assert sum(len(r) for r in regions) == len(split.unobserved)
+        assert len(regions) >= 2
+
+    def test_invalid_args_rejected(self, traffic):
+        with pytest.raises(ValueError):
+            multi_region_split(traffic.coords, 0)
+        with pytest.raises(ValueError):
+            multi_region_split(traffic.coords, 2, unobserved_ratio=0.99)
+
+
+class TestMultiRegionSimilarity:
+    def _adjacency(self, traffic):
+        distances = euclidean_distance_matrix(traffic.coords)
+        sigma = distances[~np.eye(len(distances), dtype=bool)].std() * 0.35
+        return gaussian_kernel_adjacency(distances, 0.5, sigma=sigma)
+
+    def test_reduces_to_single_region(self, traffic):
+        split = multi_region_split(traffic.coords, 1, rng=np.random.default_rng(4))
+        a_sg = self._adjacency(traffic)
+        multi = multi_region_similarity(
+            traffic.features, traffic.coords, a_sg,
+            split.observed, split.unobserved, 1,
+        )
+        single = compute_subgraph_similarity(
+            traffic.features, traffic.coords, a_sg, split.observed, split.unobserved
+        )
+        assert np.allclose(multi.embedding_similarity, single.embedding_similarity)
+        assert np.allclose(multi.spatial_proximity, single.spatial_proximity, rtol=1e-6)
+
+    def test_proximity_is_max_over_patch_centroids(self, traffic):
+        split = multi_region_split(traffic.coords, 2, rng=np.random.default_rng(5))
+        a_sg = self._adjacency(traffic)
+        multi = multi_region_similarity(
+            traffic.features, traffic.coords, a_sg,
+            split.observed, split.unobserved, 2,
+        )
+        regions = _contiguous_regions(traffic.coords, split.unobserved, 2)
+        expected = np.zeros(len(split.observed))
+        for region in regions:
+            centroid = traffic.coords[region].mean(axis=0)
+            dist = np.linalg.norm(traffic.coords[split.observed] - centroid, axis=1)
+            expected = np.maximum(expected, 1.0 / np.maximum(dist, 1e-6))
+        assert np.allclose(multi.spatial_proximity, expected)
+
+
+class TestMultiRegionTraining:
+    def test_stsm_trains_on_two_regions(self, traffic):
+        split = multi_region_split(traffic.coords, 2, rng=np.random.default_rng(6))
+        spec = WindowSpec(8, 8)
+        model = make_stsm(
+            config=STSMConfig(
+                hidden_dim=8, num_blocks=1, gcn_depth=1, epochs=2, patience=2,
+                batch_size=8, window_stride=8, top_k=5, num_unobserved_regions=2,
+            )
+        )
+        train_ix, _ = temporal_split(traffic.num_steps)
+        report = model.fit(traffic, split, spec, train_ix)
+        assert report.epochs >= 1
+        starts = forecast_window_starts(traffic, spec, max_windows=3)
+        out = model.predict(starts)
+        assert out.shape == (3, 8, len(split.unobserved))
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,80 @@
+"""Model save/load roundtrip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import STSMConfig, STSMForecaster, load_forecaster, make_stsm_rnc, save_forecaster
+from repro.data import WindowSpec, space_split, temporal_split
+from repro.evaluation import forecast_window_starts
+
+
+@pytest.fixture(scope="module")
+def fitted(tmp_path_factory):
+    from repro.data.synthetic import make_pems_bay
+
+    dataset = make_pems_bay(num_sensors=20, num_days=3, seed=23)
+    split = space_split(dataset.coords, "horizontal")
+    spec = WindowSpec(8, 8)
+    model = make_stsm_rnc(
+        config=STSMConfig(hidden_dim=8, num_blocks=1, gcn_depth=1, epochs=2,
+                          patience=2, batch_size=8, window_stride=8, top_k=5)
+    )
+    train_ix, _ = temporal_split(dataset.num_steps)
+    model.fit(dataset, split, spec, train_ix)
+    return model, dataset, split, spec
+
+
+class TestPersistence:
+    def test_roundtrip_predictions_identical(self, fitted, tmp_path):
+        model, dataset, split, spec = fitted
+        path = tmp_path / "stsm.npz"
+        save_forecaster(model, path)
+        restored = load_forecaster(path, dataset, split)
+        starts = forecast_window_starts(dataset, spec, max_windows=4)
+        assert np.allclose(model.predict(starts), restored.predict(starts))
+
+    def test_restored_metadata(self, fitted, tmp_path):
+        model, dataset, split, _spec = fitted
+        path = tmp_path / "stsm.npz"
+        save_forecaster(model, path)
+        restored = load_forecaster(path, dataset, split)
+        assert restored.name == model.name
+        assert restored.config == model.config
+        assert restored.scaler.mean_ == pytest.approx(model.scaler.mean_)
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_forecaster(STSMForecaster(), tmp_path / "x.npz")
+
+    def test_bad_file_rejected(self, fitted, tmp_path):
+        _model, dataset, split, _spec = fitted
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_forecaster(path, dataset, split)
+
+
+class TestPersistenceOfVariantConfigs:
+    def test_gat_variant_roundtrips(self, tmp_path):
+        """New config fields (spatial_module, gat_heads) survive save/load."""
+        from repro.core import make_stsm_gat
+        from repro.data.synthetic import make_pems_bay
+
+        dataset = make_pems_bay(num_sensors=16, num_days=3, seed=31)
+        split = space_split(dataset.coords, "horizontal")
+        spec = WindowSpec(6, 6)
+        model = make_stsm_gat(
+            config=STSMConfig(hidden_dim=8, num_blocks=1, gcn_depth=1, epochs=1,
+                              patience=1, batch_size=8, window_stride=8, top_k=4,
+                              gat_heads=2)
+        )
+        train_ix, _ = temporal_split(dataset.num_steps)
+        model.fit(dataset, split, spec, train_ix)
+        path = save_forecaster(model, tmp_path / "gat.npz")
+        restored = load_forecaster(path, dataset, split)
+        assert restored.config.spatial_module == "gat"
+        assert restored.config.gat_heads == 2
+        starts = forecast_window_starts(dataset, spec, max_windows=2)
+        assert np.allclose(restored.predict(starts), model.predict(starts))

@@ -1,0 +1,121 @@
+"""Pseudo-observation generation (paper Eq. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fill_pseudo_observations, idw_weights
+from repro.graph import euclidean_distance_matrix
+
+
+@pytest.fixture
+def line_coords():
+    # Five points on a line at x = 0, 1, 2, 3, 4.
+    return np.column_stack([np.arange(5, dtype=float), np.zeros(5)])
+
+
+class TestIDWWeights:
+    def test_rows_sum_to_one(self, line_coords):
+        distances = euclidean_distance_matrix(line_coords)
+        weights = idw_weights(distances, np.array([2]), np.array([0, 1, 3, 4]))
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_closer_sources_weigh_more(self, line_coords):
+        distances = euclidean_distance_matrix(line_coords)
+        weights = idw_weights(distances, np.array([0]), np.array([1, 4]))
+        assert weights[0, 0] > weights[0, 1]
+
+    def test_exact_inverse_distance_ratio(self, line_coords):
+        distances = euclidean_distance_matrix(line_coords)
+        weights = idw_weights(distances, np.array([0]), np.array([1, 2]))
+        # 1/1 vs 1/2 -> 2/3 vs 1/3.
+        assert np.allclose(weights[0], [2 / 3, 1 / 3])
+
+    def test_top_k_restriction(self, line_coords):
+        distances = euclidean_distance_matrix(line_coords)
+        weights = idw_weights(distances, np.array([0]), np.array([1, 2, 3, 4]), k=2)
+        assert np.count_nonzero(weights[0]) == 2
+        assert weights[0, 2] == 0.0 and weights[0, 3] == 0.0
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_k_larger_than_sources_is_noop(self, line_coords):
+        distances = euclidean_distance_matrix(line_coords)
+        full = idw_weights(distances, np.array([0]), np.array([1, 2]))
+        capped = idw_weights(distances, np.array([0]), np.array([1, 2]), k=10)
+        assert np.allclose(full, capped)
+
+    def test_invalid_k_rejected(self, line_coords):
+        distances = euclidean_distance_matrix(line_coords)
+        with pytest.raises(ValueError):
+            idw_weights(distances, np.array([0]), np.array([1, 2, 3]), k=0)
+
+    def test_no_sources_rejected(self, line_coords):
+        distances = euclidean_distance_matrix(line_coords)
+        with pytest.raises(ValueError):
+            idw_weights(distances, np.array([0]), np.array([], dtype=int))
+
+    def test_coincident_coordinates_finite(self):
+        coords = np.zeros((3, 2))
+        distances = euclidean_distance_matrix(coords)
+        weights = idw_weights(distances, np.array([0]), np.array([1, 2]))
+        assert np.all(np.isfinite(weights))
+
+
+class TestFill:
+    def test_sources_unchanged(self, line_coords):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(10, 5))
+        distances = euclidean_distance_matrix(line_coords)
+        filled = fill_pseudo_observations(values, distances, np.array([2]), np.array([0, 1, 3, 4]))
+        untouched = [0, 1, 3, 4]
+        assert np.allclose(filled[:, untouched], values[:, untouched])
+
+    def test_target_is_convex_combination(self, line_coords):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(10, 20, size=(6, 5))
+        distances = euclidean_distance_matrix(line_coords)
+        filled = fill_pseudo_observations(values, distances, np.array([2]), np.array([0, 1, 3, 4]))
+        sources = values[:, [0, 1, 3, 4]]
+        assert np.all(filled[:, 2] >= sources.min(axis=1) - 1e-9)
+        assert np.all(filled[:, 2] <= sources.max(axis=1) + 1e-9)
+
+    def test_no_targets_returns_copy(self, line_coords):
+        values = np.ones((3, 5))
+        distances = euclidean_distance_matrix(line_coords)
+        filled = fill_pseudo_observations(values, distances, np.array([], dtype=int), np.array([0]))
+        assert np.allclose(filled, values)
+        filled[0, 0] = 99.0
+        assert values[0, 0] == 1.0  # original untouched
+
+    def test_original_not_mutated(self, line_coords):
+        values = np.ones((3, 5))
+        distances = euclidean_distance_matrix(line_coords)
+        fill_pseudo_observations(values, distances, np.array([2]), np.array([0, 1]))
+        assert np.allclose(values, 1.0)
+
+    def test_interpolation_recovers_smooth_field(self, line_coords):
+        # Values linear in x: IDW between symmetric neighbours is exact.
+        x = line_coords[:, 0]
+        values = np.tile(x, (4, 1))
+        distances = euclidean_distance_matrix(line_coords)
+        filled = fill_pseudo_observations(values, distances, np.array([2]), np.array([1, 3]))
+        assert np.allclose(filled[:, 2], 2.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=5, max_value=15), st.integers(min_value=0, max_value=100))
+    def test_fill_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 10, size=(n, 2))
+        values = rng.normal(size=(4, n))
+        distances = euclidean_distance_matrix(coords)
+        targets = np.array([0, 1])
+        sources = np.arange(2, n)
+        filled = fill_pseudo_observations(values, distances, targets, sources)
+        # Convexity: every fill lies inside the source range.
+        lo, hi = values[:, 2:].min(axis=1), values[:, 2:].max(axis=1)
+        for t in targets:
+            assert np.all(filled[:, t] >= lo - 1e-9)
+            assert np.all(filled[:, t] <= hi + 1e-9)

@@ -1,0 +1,93 @@
+"""STSM-gat variant: config plumbing and end-to-end training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    STSM_VARIANTS,
+    DualGraphAttention,
+    STSMConfig,
+    make_stsm_gat,
+)
+from repro.autograd import Tensor
+from repro.data import WindowSpec, space_split, temporal_split
+from repro.evaluation import evaluate_forecaster
+
+_FAST = dict(
+    hidden_dim=8,
+    num_blocks=1,
+    tcn_levels=2,
+    gcn_depth=1,
+    epochs=2,
+    patience=2,
+    batch_size=8,
+    window_stride=8,
+    top_k=5,
+    gat_heads=2,
+)
+
+
+class TestConfig:
+    def test_variant_registered(self):
+        assert "STSM-gat" in STSM_VARIANTS
+
+    def test_constructor_sets_module(self):
+        model = make_stsm_gat(config=STSMConfig(**_FAST))
+        assert model.config.spatial_module == "gat"
+        assert model.name == "STSM-gat"
+
+    def test_rejects_unknown_spatial_module(self):
+        with pytest.raises(ValueError, match="spatial_module"):
+            STSMConfig(spatial_module="hypergraph").validate()
+
+    def test_rejects_indivisible_heads(self):
+        config = STSMConfig(hidden_dim=9, spatial_module="gat", gat_heads=2)
+        with pytest.raises(ValueError, match="gat_heads"):
+            config.validate()
+
+    def test_gcn_config_ignores_gat_heads(self):
+        STSMConfig(hidden_dim=9, spatial_module="gcn", gat_heads=2).validate()
+
+
+class TestDualGraphAttention:
+    def test_fuses_two_adjacencies(self):
+        rng = np.random.default_rng(0)
+        module = DualGraphAttention(4, num_heads=2, rng=rng)
+        n = 5
+        a_s = (rng.random((n, n)) < 0.5).astype(float)
+        a_dtw = (rng.random((n, n)) < 0.5).astype(float)
+        features = Tensor(rng.normal(size=(2, 3, n, 4)))
+        out = module(Tensor(a_s), Tensor(a_dtw), features)
+        assert out.shape == (2, 3, n, 4)
+
+    def test_output_is_elementwise_max_of_branches(self):
+        rng = np.random.default_rng(1)
+        module = DualGraphAttention(4, num_heads=1, rng=rng)
+        n = 4
+        a_s = np.ones((n, n)) - np.eye(n)
+        a_dtw = np.eye(n)  # degenerate: self-loops only
+        features = Tensor(rng.normal(size=(n, 4)))
+        fused = module(Tensor(a_s), Tensor(a_dtw), features).numpy()
+        spatial = module.spatial_branch(Tensor(a_s), features).numpy()
+        temporal = module.temporal_branch(Tensor(a_dtw), features).numpy()
+        assert np.allclose(fused, np.maximum(spatial, temporal))
+
+
+class TestEndToEnd:
+    def test_fit_predict(self, tiny_traffic, tiny_split, tiny_spec):
+        model = make_stsm_gat(config=STSMConfig(**_FAST))
+        result = evaluate_forecaster(
+            model, tiny_traffic, tiny_split, tiny_spec, max_test_windows=4
+        )
+        assert np.isfinite(result.metrics.rmse)
+        assert result.metrics.rmse < tiny_traffic.values.std() * 5
+
+    def test_inductive_testing_on_larger_graph(self, tiny_traffic, tiny_split, tiny_spec):
+        """Training runs on N_o nodes, testing on all N — shapes must adapt."""
+        model = make_stsm_gat(config=STSMConfig(**_FAST))
+        train_ix, _ = temporal_split(tiny_traffic.num_steps)
+        model.fit(tiny_traffic, tiny_split, tiny_spec, train_ix)
+        out = model.predict(np.array([0, 1]))
+        assert out.shape == (2, tiny_spec.horizon, len(tiny_split.unobserved))

@@ -1,0 +1,55 @@
+"""Dataset save/load roundtrip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, save_dataset
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tiny_traffic, tmp_path):
+        path = tmp_path / "traffic.npz"
+        save_dataset(tiny_traffic, path)
+        restored = load_dataset(path)
+        assert restored.name == tiny_traffic.name
+        assert restored.steps_per_day == tiny_traffic.steps_per_day
+        assert restored.interval_minutes == tiny_traffic.interval_minutes
+        assert np.allclose(restored.values, tiny_traffic.values)
+        assert np.allclose(restored.coords, tiny_traffic.coords)
+        assert np.allclose(restored.features.poi_counts, tiny_traffic.features.poi_counts)
+        assert np.allclose(restored.features.road, tiny_traffic.features.road)
+
+    def test_metadata_arrays_roundtrip(self, tiny_traffic, tmp_path):
+        path = tmp_path / "traffic.npz"
+        save_dataset(tiny_traffic, path)
+        restored = load_dataset(path)
+        assert restored.metadata["kind"] == "traffic"
+        assert np.allclose(restored.metadata["land_use"], tiny_traffic.metadata["land_use"])
+
+    def test_road_network_not_serialised(self, tiny_traffic, tmp_path):
+        path = tmp_path / "traffic.npz"
+        save_dataset(tiny_traffic, path)
+        assert load_dataset(path).road_network is None
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, whatever=np.zeros(2))
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_restored_dataset_usable_for_training(self, tiny_traffic, tmp_path):
+        from repro.baselines import HistoricalAverageForecaster
+        from repro.data import WindowSpec, space_split, temporal_split
+        from repro.evaluation import evaluate_forecaster
+
+        path = tmp_path / "traffic.npz"
+        save_dataset(tiny_traffic, path)
+        restored = load_dataset(path)
+        split = space_split(restored.coords, "horizontal")
+        result = evaluate_forecaster(
+            HistoricalAverageForecaster(), restored, split, WindowSpec(8, 8),
+            max_test_windows=4,
+        )
+        assert result.metrics.rmse > 0

@@ -1,0 +1,125 @@
+"""Prediction-interval metrics (PICP, MPIW, Winkler, CRPS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    crps_from_samples,
+    empirical_interval,
+    evaluate_intervals,
+    mean_interval_width,
+    picp,
+    winkler_score,
+)
+
+
+class TestEmpiricalInterval:
+    def test_bounds_bracket_the_samples(self):
+        samples = np.linspace(0.0, 1.0, 101)[:, None]
+        lower, upper = empirical_interval(samples, coverage=0.9)
+        assert lower[0] == pytest.approx(0.05, abs=1e-6)
+        assert upper[0] == pytest.approx(0.95, abs=1e-6)
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ValueError, match="coverage"):
+            empirical_interval(np.zeros((3, 2)), coverage=1.0)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="samples"):
+            empirical_interval(np.zeros((1, 4)))
+
+
+class TestPICP:
+    def test_full_coverage(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        assert picp(actual - 1, actual + 1, actual) == 1.0
+
+    def test_half_coverage(self):
+        actual = np.array([0.0, 10.0])
+        lower = np.array([-1.0, -1.0])
+        upper = np.array([1.0, 1.0])
+        assert picp(lower, upper, actual) == 0.5
+
+    def test_boundary_counts_as_inside(self):
+        assert picp(np.array([1.0]), np.array([2.0]), np.array([2.0])) == 1.0
+
+
+class TestWidthAndWinkler:
+    def test_mean_width(self):
+        assert mean_interval_width(np.array([0.0, 1.0]), np.array([2.0, 5.0])) == 3.0
+
+    def test_winkler_equals_width_when_covered(self):
+        lower, upper = np.array([0.0]), np.array([4.0])
+        assert winkler_score(lower, upper, np.array([2.0]), coverage=0.8) == 4.0
+
+    def test_winkler_penalises_misses(self):
+        lower, upper = np.array([0.0]), np.array([4.0])
+        covered = winkler_score(lower, upper, np.array([2.0]), coverage=0.8)
+        missed = winkler_score(lower, upper, np.array([5.0]), coverage=0.8)
+        # penalty = (2 / 0.2) * 1.0 = 10 on top of the width
+        assert missed == pytest.approx(covered + 10.0)
+
+    def test_winkler_rejects_bad_coverage(self):
+        with pytest.raises(ValueError, match="coverage"):
+            winkler_score(np.zeros(1), np.ones(1), np.zeros(1), coverage=0.0)
+
+
+class TestCRPS:
+    def test_degenerate_samples_reduce_to_mae(self):
+        """All samples equal x: CRPS collapses to |x − y|."""
+        actual = np.array([3.0, -1.0])
+        samples = np.tile(np.array([5.0, -1.0]), (4, 1))
+        assert crps_from_samples(samples, actual) == pytest.approx(
+            np.mean([2.0, 0.0])
+        )
+
+    def test_sharper_correct_forecast_scores_better(self):
+        rng = np.random.default_rng(0)
+        actual = np.zeros(50)
+        sharp = rng.normal(0.0, 0.1, size=(64, 50))
+        blunt = rng.normal(0.0, 2.0, size=(64, 50))
+        assert crps_from_samples(sharp, actual) < crps_from_samples(blunt, actual)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            crps_from_samples(np.zeros((4, 3)), np.zeros(5))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="samples"):
+            crps_from_samples(np.zeros((1, 3)), np.zeros(3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_crps_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=(int(rng.integers(2, 12)), 6))
+        actual = rng.normal(size=6)
+        assert crps_from_samples(samples, actual) >= -1e-12
+
+
+class TestEvaluateIntervals:
+    def test_returns_consistent_metrics(self):
+        rng = np.random.default_rng(1)
+        actual = rng.normal(size=(5, 4))
+        samples = actual[None] + rng.normal(0, 0.5, size=(32, 5, 4))
+        metrics = evaluate_intervals(samples, actual, coverage=0.8)
+        assert metrics.coverage_nominal == 0.8
+        assert 0.0 <= metrics.picp <= 1.0
+        assert metrics.mpiw > 0.0
+        assert metrics.winkler >= metrics.mpiw  # penalty only adds
+        assert metrics.crps >= 0.0
+        assert set(metrics.as_dict()) == {
+            "coverage_nominal", "picp", "mpiw", "winkler", "crps",
+        }
+
+    def test_well_calibrated_samples_cover_near_nominal(self):
+        """Samples drawn from the true distribution → PICP ≈ nominal."""
+        rng = np.random.default_rng(2)
+        actual = rng.normal(size=2000)
+        samples = rng.normal(size=(256, 2000))
+        metrics = evaluate_intervals(samples, actual, coverage=0.9)
+        assert abs(metrics.picp - 0.9) < 0.03

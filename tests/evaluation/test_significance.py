@@ -1,0 +1,62 @@
+"""Paired bootstrap significance testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import PairedComparison, paired_bootstrap
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(71)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self, rng):
+        truth = rng.normal(size=(40, 6, 4))
+        good = truth + rng.normal(0, 0.1, size=truth.shape)
+        bad = truth + rng.normal(0, 1.0, size=truth.shape)
+        comparison = paired_bootstrap(good, bad, truth, rng=rng)
+        assert comparison.delta < 0
+        assert comparison.significant
+        assert comparison.wins > 0.95
+
+    def test_identical_models_not_significant(self, rng):
+        truth = rng.normal(size=(30, 4))
+        pred = truth + rng.normal(0, 0.5, size=truth.shape)
+        comparison = paired_bootstrap(pred, pred.copy(), truth, rng=rng)
+        assert comparison.delta == pytest.approx(0.0)
+        assert not comparison.significant
+
+    def test_noise_level_difference_detected(self, rng):
+        truth = np.zeros((60, 5))
+        a = rng.normal(0, 1.0, size=truth.shape)
+        b = rng.normal(0, 1.3, size=truth.shape)
+        comparison = paired_bootstrap(a, b, truth, rng=rng)
+        assert comparison.rmse_a < comparison.rmse_b
+
+    def test_symmetry(self, rng):
+        truth = rng.normal(size=(25, 3))
+        a = truth + rng.normal(0, 0.3, size=truth.shape)
+        b = truth + rng.normal(0, 0.5, size=truth.shape)
+        ab = paired_bootstrap(a, b, truth, rng=np.random.default_rng(1))
+        ba = paired_bootstrap(b, a, truth, rng=np.random.default_rng(1))
+        assert ab.delta == pytest.approx(-ba.delta)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.zeros((5, 2)), np.zeros((5, 3)), np.zeros((5, 2)))
+
+    def test_too_few_windows_rejected(self):
+        one = np.zeros((1, 2))
+        with pytest.raises(ValueError):
+            paired_bootstrap(one, one, one)
+
+    def test_dataclass_fields(self, rng):
+        truth = rng.normal(size=(10, 2))
+        comparison = paired_bootstrap(truth + 0.1, truth + 0.2, truth, rng=rng)
+        assert isinstance(comparison, PairedComparison)
+        assert 0.0 <= comparison.p_value <= 1.0
+        assert 0.0 <= comparison.wins <= 1.0

@@ -1,0 +1,174 @@
+"""Experiment registry, scales, reporting, and shared runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import WindowSpec
+from repro.experiments import (
+    BASELINE_NAMES,
+    EXPERIMENTS,
+    STSM_NAMES,
+    build_dataset,
+    build_model,
+    format_table,
+    get_scale,
+    improvement_percent,
+    ratio_split,
+    run_experiment,
+)
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("small", "paper", "bench"):
+            scale = get_scale(name)
+            assert scale.name == name
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_window_specs_match_paper_structure(self):
+        paper = get_scale("paper")
+        assert paper.window_spec("pems-bay") == WindowSpec(24, 24)  # 2 h at 5 min
+        assert paper.window_spec("melbourne") == WindowSpec(8, 8)  # 2 h at 15 min
+        assert paper.window_spec("airq") == WindowSpec(24, 24)  # 24 h at 1 h
+
+    def test_paper_scale_uses_four_splits(self):
+        assert len(get_scale("paper").split_kinds) == 4
+
+    def test_dataset_size_fallback(self):
+        paper = get_scale("paper")
+        assert paper.dataset_size("pems-bay") == (None, None)
+        bench = get_scale("bench")
+        sensors, days = bench.dataset_size("pems-bay")
+        assert sensors is not None and days is not None
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table2_stats", "table4_overall", "table5_timing", "table6_sensors",
+            "table7_density", "table8_simgain", "table9_ring", "table10_trans",
+            "table11_distance", "fig7_adjacency", "fig8_ratio", "fig9_k",
+            "fig10_eps", "ablation_dtw", "ablation_pseudo",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extension_experiments_registered(self):
+        extensions = {
+            "ext_multiregion", "ext_missingness", "ext_classical",
+            "ext_uncertainty", "ext_progressive", "ext_horizon",
+            "ext_robustness", "ablation_spatial", "ablation_temporal",
+        }
+        assert extensions <= set(EXPERIMENTS)
+
+    def test_naive_and_classical_models_buildable(self):
+        scale = get_scale("bench")
+        for name in ("GP-Kriging", "MatrixCompletion", "HistoricalAverage",
+                     "NearestObserved", "IDW"):
+            model = build_model(name, "pems-bay", scale)
+            assert hasattr(model, "fit") and hasattr(model, "predict")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+class TestBuilders:
+    def test_build_dataset_bench_size(self):
+        scale = get_scale("bench")
+        dataset = build_dataset("pems-bay", scale)
+        assert dataset.num_locations == scale.dataset_size("pems-bay")[0]
+
+    def test_build_dataset_override(self):
+        scale = get_scale("bench")
+        dataset = build_dataset("pems-bay", scale, num_sensors=10, num_days=1)
+        assert dataset.num_locations == 10
+
+    def test_build_model_names(self):
+        scale = get_scale("bench")
+        for name in BASELINE_NAMES + STSM_NAMES:
+            model = build_model(name, "pems-bay", scale)
+            assert model.name == name
+
+    def test_build_model_caps_top_k(self):
+        scale = get_scale("small")
+        model = build_model("STSM", "pems-bay", scale, num_observed=8)
+        assert model.config.top_k <= 8
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("DCRNN", "pems-bay", get_scale("bench"))
+
+    def test_stsm_overrides_forwarded(self):
+        scale = get_scale("bench")
+        model = build_model("STSM", "pems-bay", scale, epsilon_sg=0.77)
+        assert model.config.epsilon_sg == 0.77
+
+
+class TestRatioSplit:
+    def test_ratio_respected(self):
+        coords = np.random.default_rng(0).uniform(size=(40, 2))
+        split = ratio_split(coords, "horizontal", 0.3)
+        assert len(split.test) == pytest.approx(12, abs=1)
+        split.validate(40)
+
+    def test_observed_keeps_4_to_1(self):
+        coords = np.random.default_rng(1).uniform(size=(50, 2))
+        split = ratio_split(coords, "vertical", 0.5)
+        assert len(split.train) / len(split.validation) == pytest.approx(4.0, rel=0.3)
+
+    def test_invalid_ratio_rejected(self):
+        coords = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            ratio_split(coords, "horizontal", 0.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": 0.1}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.346" in text
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_improvement_lower_better(self):
+        assert improvement_percent(8.0, 10.0) == pytest.approx(20.0)
+        assert improvement_percent(12.0, 10.0) == pytest.approx(-20.0)
+
+    def test_improvement_higher_better(self):
+        assert improvement_percent(0.24, 0.20, lower_is_better=False) == pytest.approx(20.0)
+
+    def test_improvement_na_for_negative_baseline(self):
+        assert improvement_percent(0.2, -0.5, lower_is_better=False) is None
+
+
+class TestCheapExperiments:
+    """Experiments cheap enough to run fully inside the unit suite."""
+
+    def test_table2(self):
+        result = run_experiment("table2_stats", scale_name="bench")
+        assert len(result["rows"]) == 5
+        assert "pems-bay" in result["text"]
+
+    def test_fig7(self):
+        result = run_experiment("fig7_adjacency", scale_name="bench")
+        assert result["a_sg_sparser"] is True
+
+    def test_table8(self):
+        result = run_experiment("table8_simgain", scale_name="bench")
+        gains = [row["Gain%"] for row in result["rows"]]
+        assert len(gains) == 5
+        assert np.mean(gains) > 0

@@ -1,0 +1,45 @@
+"""Structural tests for the figure runners (cheap, no model training)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestFig5:
+    def test_maps_for_all_datasets(self):
+        result = run_experiment("fig5_sensor_maps", scale_name="bench")
+        assert len(result["maps"]) == 5
+        for art in result["maps"].values():
+            assert art.startswith("+")
+            assert "o" in art
+
+    def test_dataset_subset(self):
+        result = run_experiment("fig5_sensor_maps", scale_name="bench", datasets=["airq"])
+        assert list(result["maps"]) == ["airq"]
+
+
+class TestFig6:
+    def test_partition_counts(self):
+        result = run_experiment("fig6_partitioning", scale_name="bench")
+        counts = {row["Set"]: row["Locations"] for row in result["rows"]}
+        total = sum(counts.values())
+        assert counts["train"] / total == pytest.approx(0.4, abs=0.1)
+        assert counts["test"] / total == pytest.approx(0.5, abs=0.1)
+
+    def test_text_contains_both_panels(self):
+        result = run_experiment("fig6_partitioning", scale_name="bench")
+        assert "Spatial partitioning" in result["text"]
+        assert "Temporal split" in result["text"]
+
+
+class TestFig11:
+    def test_radii_ordering(self):
+        result = run_experiment("fig11_ring_map", scale_name="bench")
+        radii = result["radii"]
+        assert radii["train"] < radii["test"]
+
+    def test_map_has_all_markers(self):
+        result = run_experiment("fig11_ring_map", scale_name="bench")
+        assert "T" in result["text"] and "U" in result["text"]

@@ -1,0 +1,119 @@
+"""Adjacency construction and normalisation (paper Eq. 2 / Eq. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    adjacency_density,
+    euclidean_distance_matrix,
+    gaussian_kernel_adjacency,
+    gcn_normalise,
+    row_normalise,
+)
+
+
+@pytest.fixture
+def coords():
+    rng = np.random.default_rng(3)
+    return rng.uniform(0, 1000, size=(20, 2))
+
+
+class TestGaussianKernel:
+    def test_binary_symmetric(self, coords):
+        adj = gaussian_kernel_adjacency(euclidean_distance_matrix(coords), 0.3)
+        assert set(np.unique(adj)) <= {0.0, 1.0}
+        assert np.allclose(adj, adj.T)
+
+    def test_no_self_loops_by_default(self, coords):
+        adj = gaussian_kernel_adjacency(euclidean_distance_matrix(coords), 0.3)
+        assert np.all(np.diag(adj) == 0)
+
+    def test_self_loops_kept_on_request(self, coords):
+        adj = gaussian_kernel_adjacency(
+            euclidean_distance_matrix(coords), 0.3, self_loops=True
+        )
+        assert np.all(np.diag(adj) == 1)
+
+    def test_higher_threshold_is_sparser(self, coords):
+        distances = euclidean_distance_matrix(coords)
+        low = gaussian_kernel_adjacency(distances, 0.1)
+        high = gaussian_kernel_adjacency(distances, 0.8)
+        assert high.sum() <= low.sum()
+
+    def test_smaller_sigma_is_sparser(self, coords):
+        distances = euclidean_distance_matrix(coords)
+        wide = gaussian_kernel_adjacency(distances, 0.5, sigma=distances.std())
+        narrow = gaussian_kernel_adjacency(distances, 0.5, sigma=distances.std() / 4)
+        assert narrow.sum() <= wide.sum()
+
+    def test_close_pair_connected(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [100.0, 0.0]])
+        adj = gaussian_kernel_adjacency(euclidean_distance_matrix(coords), 0.5)
+        assert adj[0, 1] == 1.0
+        assert adj[0, 2] == 0.0
+
+    def test_invalid_threshold_rejected(self, coords):
+        distances = euclidean_distance_matrix(coords)
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(distances, 0.0)
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(distances, 1.5)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(np.zeros((3, 4)), 0.5)
+
+    def test_negative_sigma_rejected(self, coords):
+        with pytest.raises(ValueError):
+            gaussian_kernel_adjacency(euclidean_distance_matrix(coords), 0.5, sigma=-1.0)
+
+
+class TestNormalisation:
+    def test_gcn_normalise_symmetric_input(self, coords):
+        adj = gaussian_kernel_adjacency(euclidean_distance_matrix(coords), 0.3)
+        norm = gcn_normalise(adj)
+        assert np.allclose(norm, norm.T)
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_gcn_normalise_isolated_node(self):
+        adj = np.zeros((3, 3))
+        norm = gcn_normalise(adj)
+        assert np.allclose(norm, np.eye(3))
+
+    def test_row_normalise_stochastic(self, coords):
+        adj = gaussian_kernel_adjacency(euclidean_distance_matrix(coords), 0.3, self_loops=True)
+        rows = row_normalise(adj).sum(axis=1)
+        assert np.allclose(rows, 1.0)
+
+    def test_row_normalise_zero_row_stays_zero(self):
+        adj = np.array([[0.0, 1.0], [0.0, 0.0]])
+        norm = row_normalise(adj)
+        assert np.allclose(norm[1], 0.0)
+
+
+class TestDensity:
+    def test_complete_graph(self):
+        adj = np.ones((4, 4))
+        assert adjacency_density(adj) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert adjacency_density(np.zeros((4, 4))) == 0.0
+
+    def test_singleton(self):
+        assert adjacency_density(np.zeros((1, 1))) == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=3, max_value=15), st.floats(min_value=0.05, max_value=0.95))
+def test_gcn_normalise_rows_bounded(n, threshold):
+    rng = np.random.default_rng(n)
+    coords = rng.uniform(0, 100, size=(n, 2))
+    adj = gaussian_kernel_adjacency(euclidean_distance_matrix(coords), threshold)
+    norm = gcn_normalise(adj)
+    assert np.all(norm >= 0)
+    assert np.all(np.isfinite(norm))

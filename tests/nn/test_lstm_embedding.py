@@ -1,0 +1,110 @@
+"""LSTM, Embedding layer, and Huber loss (substrate extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, check_gradients
+from repro.optim import Adam
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestLSTM:
+    def test_shapes(self, rng):
+        lstm = nn.LSTM(3, 5)
+        seq, (h, c) = lstm(Tensor(rng.normal(size=(2, 7, 3))))
+        assert seq.shape == (2, 7, 5)
+        assert h.shape == (2, 5) and c.shape == (2, 5)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = nn.LSTMCell(2, 4)
+        assert np.allclose(cell.bias_f.data, 1.0)
+
+    def test_hidden_bounded(self, rng):
+        lstm = nn.LSTM(2, 4)
+        seq, _state = lstm(Tensor(rng.normal(size=(3, 6, 2)) * 10))
+        assert np.all(np.abs(seq.numpy()) <= 1.0)
+
+    def test_gradients_flow(self, rng):
+        lstm = nn.LSTM(2, 3)
+        _seq, (h, _c) = lstm(Tensor(rng.normal(size=(2, 4, 2))))
+        h.sum().backward()
+        assert all(p.grad is not None for p in lstm.parameters())
+
+    def test_state_carries_information(self, rng):
+        lstm = nn.LSTM(2, 3)
+        x = Tensor(rng.normal(size=(1, 4, 2)))
+        _s1, (h1, c1) = lstm(x)
+        _s2, (h2, _c2) = lstm(x, state=(h1, c1))
+        assert not np.allclose(h1.numpy(), h2.numpy())
+
+    def test_learns_simple_memory_task(self, rng):
+        """Predict the first input element from the final hidden state."""
+        lstm = nn.LSTM(1, 8)
+        head = nn.Linear(8, 1)
+        params = list(lstm.parameters()) + list(head.parameters())
+        opt = Adam(params, lr=0.02)
+        x = rng.normal(size=(64, 5, 1))
+        y = x[:, 0, :]
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            _seq, (h, _c) = lstm(Tensor(x))
+            loss = nn.mse_loss(head(h), Tensor(y))
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+        assert loss.item() < first * 0.5
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = nn.Embedding(12, 5)
+        out = emb(np.array([[0, 3], [11, 1]]))
+        assert out.shape == (2, 2, 5)
+
+    def test_gradients_only_for_used_rows(self):
+        emb = nn.Embedding(6, 2)
+        emb(np.array([1, 4])).sum().backward()
+        grad = emb.weight.grad
+        used = {1, 4}
+        for row in range(6):
+            if row in used:
+                assert np.any(grad[row] != 0)
+            else:
+                assert np.all(grad[row] == 0)
+
+
+class TestHuberLoss:
+    def test_quadratic_region_matches_half_mse(self):
+        pred = Tensor(np.array([0.5]))
+        target = Tensor(np.array([0.0]))
+        assert nn.huber_loss(pred, target, delta=1.0).item() == pytest.approx(0.125)
+
+    def test_linear_region(self):
+        pred = Tensor(np.array([3.0]))
+        target = Tensor(np.array([0.0]))
+        # 0.5 * delta^2 + delta * (|e| - delta) = 0.5 + 2 = 2.5
+        assert nn.huber_loss(pred, target, delta=1.0).item() == pytest.approx(2.5)
+
+    def test_less_sensitive_to_outliers_than_mse(self, rng):
+        pred = Tensor(np.array([0.1, 0.1, 10.0]))
+        target = Tensor(np.zeros(3))
+        huber = nn.huber_loss(pred, target, delta=1.0).item()
+        mse = nn.mse_loss(pred, target).item()
+        assert huber < mse
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            nn.huber_loss(Tensor([1.0]), Tensor([0.0]), delta=0.0)
+
+    def test_gradcheck(self, rng):
+        pred = Tensor(rng.normal(size=(4,)) * 2 + 0.05, requires_grad=True)
+        target = Tensor(rng.normal(size=(4,)))
+        check_gradients(lambda p: nn.huber_loss(p, target), [pred], atol=1e-4)

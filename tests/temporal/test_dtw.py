@@ -1,0 +1,140 @@
+"""DTW correctness and properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal import (
+    daily_profile,
+    downsample_profile,
+    dtw_distance,
+    dtw_distance_matrix,
+)
+
+
+class TestDTWDistance:
+    def test_identical_series_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert dtw_distance(a, a) == 0.0
+
+    def test_known_value(self):
+        # Optimal alignment of [0,0,1] vs [0,1,1] warps around the step.
+        assert dtw_distance([0.0, 0.0, 1.0], [0.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_constant_offset(self):
+        a = np.zeros(4)
+        b = np.ones(4)
+        assert dtw_distance(a, b) == pytest.approx(4.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=6), rng.normal(size=6)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_shift_invariance_beats_euclidean(self):
+        # DTW should align a shifted copy nearly perfectly.
+        t = np.linspace(0, 2 * np.pi, 40)
+        a = np.sin(t)
+        b = np.roll(a, 3)
+        assert dtw_distance(a, b) < np.abs(a - b).sum()
+
+    def test_different_lengths(self):
+        assert dtw_distance([0.0, 1.0], [0.0, 0.5, 1.0]) == pytest.approx(0.5)
+
+    def test_band_restricts_warp(self):
+        a = np.array([0.0, 0.0, 0.0, 1.0])
+        b = np.array([1.0, 0.0, 0.0, 0.0])
+        unbounded = dtw_distance(a, b)
+        banded = dtw_distance(a, b, band=1)
+        assert banded >= unbounded
+
+    def test_band_narrower_than_length_gap_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros(3), np.zeros(8), band=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=12))
+    def test_non_negative_and_symmetric(self, n, m):
+        rng = np.random.default_rng(n * 100 + m)
+        a, b = rng.normal(size=n), rng.normal(size=m)
+        d = dtw_distance(a, b)
+        assert d >= 0
+        assert d == pytest.approx(dtw_distance(b, a))
+
+
+class TestDTWMatrix:
+    def test_matches_scalar_implementation(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=(5, 8))
+        matrix = dtw_distance_matrix(series)
+        for i in range(5):
+            for j in range(5):
+                assert matrix[i, j] == pytest.approx(dtw_distance(series[i], series[j]))
+
+    def test_cross_matrix_matches(self):
+        rng = np.random.default_rng(2)
+        left = rng.normal(size=(3, 6))
+        right = rng.normal(size=(4, 6))
+        matrix = dtw_distance_matrix(left, right)
+        assert matrix.shape == (3, 4)
+        assert matrix[1, 2] == pytest.approx(dtw_distance(left[1], right[2]))
+
+    def test_banded_matrix_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(size=(4, 7))
+        matrix = dtw_distance_matrix(series, band=2)
+        for i in range(4):
+            for j in range(4):
+                assert matrix[i, j] == pytest.approx(dtw_distance(series[i], series[j], band=2))
+
+    def test_single_series(self):
+        assert dtw_distance_matrix(np.ones((1, 5))).shape == (1, 1)
+
+
+class TestProfiles:
+    def test_daily_profile_shape(self):
+        values = np.arange(48, dtype=float).reshape(12, 4)
+        out = daily_profile(values, steps_per_day=4)
+        assert out.shape == (4, 4)
+
+    def test_daily_profile_averages_days(self):
+        # Two days, two steps/day, one sensor: [1, 2], [3, 4] -> mean [2, 3].
+        values = np.array([[1.0], [2.0], [3.0], [4.0]])
+        out = daily_profile(values, steps_per_day=2)
+        assert np.allclose(out, [[2.0, 3.0]])
+
+    def test_partial_day_padded(self):
+        values = np.array([[1.0], [2.0]])
+        out = daily_profile(values, steps_per_day=4)
+        assert out.shape == (1, 4)
+        assert np.allclose(out[0, :2], [1.0, 2.0])
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            daily_profile(np.ones((4, 2)), steps_per_day=0)
+
+    def test_downsample_means(self):
+        profiles = np.arange(8, dtype=float)[None, :]
+        out = downsample_profile(profiles, 4)
+        assert np.allclose(out, [[0.5, 2.5, 4.5, 6.5]])
+
+    def test_downsample_noop_when_coarser(self):
+        profiles = np.ones((2, 4))
+        assert downsample_profile(profiles, 10).shape == (2, 4)
+
+    def test_downsample_preserves_global_mean(self):
+        rng = np.random.default_rng(4)
+        profiles = rng.normal(size=(3, 24))
+        out = downsample_profile(profiles, 6)
+        assert np.allclose(out.mean(axis=1), profiles.mean(axis=1), atol=1e-9)
+
+    def test_downsample_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            downsample_profile(np.ones((1, 8)), 0)

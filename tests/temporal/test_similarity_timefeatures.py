@@ -1,0 +1,94 @@
+"""Temporal adjacency (one-way rule) and time-of-day features."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.temporal import (
+    build_dtw_adjacency,
+    interval_ids,
+    normalised_time_encoding,
+    temporal_adjacency,
+    time_of_day_window,
+)
+
+
+class TestTemporalAdjacency:
+    def test_symmetric_among_observed(self):
+        distances = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 4.0], [5.0, 4.0, 0.0]])
+        adj = temporal_adjacency(
+            distances, None, np.array([0, 1, 2]), None, num_nodes=3, q_kk=1
+        )
+        assert np.allclose(adj, adj.T)
+        assert adj[0, 1] == 1.0  # closest pair linked
+
+    def test_one_way_into_targets(self):
+        observed = np.array([0, 1])
+        targets = np.array([2])
+        obs_d = np.array([[0.0, 2.0], [2.0, 0.0]])
+        cross = np.array([[1.0], [3.0]])  # node 0 most similar to target
+        adj = temporal_adjacency(obs_d, cross, observed, targets, num_nodes=3)
+        assert adj[2, 0] == 1.0  # target aggregates from observed 0
+        assert adj[0, 2] == 0.0  # never the reverse
+        assert adj[2, 1] == 0.0  # only q_ku=1 edge
+
+    def test_q_ku_budget(self):
+        observed = np.array([0, 1, 2])
+        targets = np.array([3])
+        obs_d = np.zeros((3, 3))
+        cross = np.array([[1.0], [2.0], [3.0]])
+        adj = temporal_adjacency(obs_d, cross, observed, targets, num_nodes=4, q_kk=0, q_ku=2)
+        assert adj[3, 0] == 1.0 and adj[3, 1] == 1.0 and adj[3, 2] == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            temporal_adjacency(np.zeros((2, 3)), None, np.array([0, 1]), None, 4)
+
+    def test_cross_shape_validation(self):
+        with pytest.raises(ValueError):
+            temporal_adjacency(
+                np.zeros((2, 2)), np.zeros((3, 1)), np.array([0, 1]), np.array([2]), 3
+            )
+
+    def test_build_from_values_connects_similar(self):
+        # Two observed sine sensors, one observed cosine sensor, and one
+        # unobserved node whose pseudo-obs equal the sine pattern: its
+        # q_ku edge should come from a sine sensor.
+        steps = 48
+        t = np.linspace(0, 4 * np.pi, steps)
+        sine, cosine = np.sin(t), np.cos(t)
+        values = np.stack([sine, sine * 1.1, cosine, sine * 0.9], axis=1)
+        adj = build_dtw_adjacency(
+            values,
+            observed_index=np.array([0, 1, 2]),
+            target_index=np.array([3]),
+            steps_per_day=24,
+            num_nodes=4,
+            resolution=None,
+        )
+        assert adj[3, 0] == 1.0 or adj[3, 1] == 1.0
+        assert adj[3, 2] == 0.0
+
+
+class TestTimeFeatures:
+    def test_interval_ids_wrap(self):
+        ids = interval_ids(5, steps_per_day=3, start=2)
+        assert list(ids) == [2, 0, 1, 2, 0]
+
+    def test_window_matches_interval_ids(self):
+        assert list(time_of_day_window(10, 4, 12)) == [10, 11, 0, 1]
+
+    def test_invalid_steps_per_day(self):
+        with pytest.raises(ValueError):
+            interval_ids(4, steps_per_day=0)
+
+    def test_normalised_encoding_range(self):
+        ids = interval_ids(24, steps_per_day=24)
+        enc = normalised_time_encoding(ids, 24)
+        assert enc.min() == 0.0
+        assert enc.max() == 1.0
+
+    def test_normalised_encoding_degenerate(self):
+        enc = normalised_time_encoding(np.array([0, 0]), steps_per_day=1)
+        assert np.allclose(enc, 0.0)

@@ -1,0 +1,116 @@
+"""Text-rendering module (reproduces the paper's illustrative figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import space_split
+from repro.viz import matrix_density, scatter_map, series_plot, sparkline, split_map
+
+
+@pytest.fixture
+def coords():
+    return np.random.default_rng(0).uniform(0, 100, size=(30, 2))
+
+
+class TestScatterMap:
+    def test_dimensions(self, coords):
+        art = scatter_map(coords, width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_all_sensors_drawn(self, coords):
+        art = scatter_map(coords, width=60, height=30, marker="o")
+        assert art.count("o") >= 1
+        assert art.count("o") <= len(coords)
+
+    def test_corner_points_mapped(self):
+        coords = np.array([[0.0, 0.0], [10.0, 10.0]])
+        art = scatter_map(coords, width=10, height=5, marker="x")
+        lines = art.splitlines()[1:-1]
+        assert lines[0][10] == "x"  # top-right (max y, max x)
+        assert lines[-1][1] == "x"  # bottom-left
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_map(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            scatter_map(np.zeros((3, 2)), width=1)
+
+
+class TestSplitMap:
+    def test_markers_present(self, coords):
+        split = space_split(coords, "horizontal")
+        art = split_map(coords, split)
+        assert "T" in art and "V" in art and "U" in art
+        assert "unobserved" in art
+
+    def test_contiguous_split_layout(self, coords):
+        """Horizontal split: U markers should be in the upper half."""
+        split = space_split(coords, "horizontal")
+        art = split_map(coords, split, width=40, height=20)
+        lines = art.splitlines()[1:21]
+        top = "".join(lines[:10])
+        bottom = "".join(lines[10:])
+        assert top.count("U") > bottom.count("U")
+        assert bottom.count("T") > top.count("T")
+
+
+class TestSeriesPlot:
+    def test_renders_multiple_series(self):
+        t = np.linspace(0, 2 * np.pi, 50)
+        art = series_plot({"sin": np.sin(t), "cos": np.cos(t)}, width=50, height=8)
+        assert "s=sin" in art and "c=cos" in art
+        assert "s" in art.splitlines()[1]
+
+    def test_scale_footer(self):
+        art = series_plot({"x": np.array([1.0, 5.0, 3.0])})
+        assert "[1.00 .. 5.00]" in art
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series_plot({})
+        with pytest.raises(ValueError):
+            series_plot({"x": np.array([1.0])})
+
+
+class TestMatrixDensity:
+    def test_dense_vs_sparse(self):
+        dense = matrix_density(np.ones((10, 10)))
+        sparse = matrix_density(np.eye(10))
+        assert "#" in dense
+        assert dense.count("#") > sparse.count("#")
+
+    def test_density_footer(self):
+        art = matrix_density(np.eye(4))
+        assert "(density 0.250)" in art
+
+    def test_large_matrix_aggregated(self):
+        art = matrix_density(np.ones((300, 300)), max_size=30)
+        body = art.splitlines()[0]
+        assert len(body) <= 60
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_density(np.zeros(5))
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        art = sparkline(np.arange(8))
+        assert art[0] == "▁" and art[-1] == "█"
+        assert len(art) == 8
+
+    def test_width_bucketing(self):
+        art = sparkline(np.arange(100), width=10)
+        assert len(art) == 10
+
+    def test_constant_series(self):
+        art = sparkline(np.full(5, 3.0))
+        assert len(art) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline(np.array([]))
