@@ -17,15 +17,31 @@ Quick start::
 
 Subpackages: ``autograd`` / ``nn`` / ``optim`` (neural substrate),
 ``graph`` / ``temporal`` (spatial and temporal utilities), ``data``
-(datasets, splits, synthetic presets), ``core`` (STSM), ``baselines``
+(datasets, splits, synthetic presets), ``engine`` (shared trainer,
+early stopping, memoisation caches), ``core`` (STSM), ``baselines``
 (GE-GAN, IGNNK, INCREASE), ``evaluation`` (metrics + harness),
-``experiments`` (one runner per paper table/figure).
+``serving`` (batched, cached forecast service), ``experiments`` (one
+runner per paper table/figure).
 """
 
-from . import autograd, baselines, core, data, evaluation, experiments, graph, nn, optim, temporal, viz
+from . import (
+    autograd,
+    baselines,
+    core,
+    data,
+    engine,
+    evaluation,
+    experiments,
+    graph,
+    nn,
+    optim,
+    serving,
+    temporal,
+    viz,
+)
 from .interfaces import FitReport, Forecaster
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "autograd",
@@ -34,9 +50,11 @@ __all__ = [
     "graph",
     "temporal",
     "data",
+    "engine",
     "core",
     "baselines",
     "evaluation",
+    "serving",
     "experiments",
     "viz",
     "Forecaster",

@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 from ..data.scalers import StandardScaler
+from ..engine import Trainer, TrainingProgram
 from ..graph.adjacency import gaussian_kernel_adjacency
 from ..graph.distances import euclidean_distance_matrix
 from ..interfaces import FitReport, Forecaster
@@ -101,45 +102,93 @@ def als_graph_completion(
     if mask.shape != values.shape:
         raise ValueError("mask shape must match values shape")
     rng = np.random.default_rng(seed)
-    factors_u = 0.1 * rng.standard_normal((num_steps, rank))
-    factors_v = 0.1 * rng.standard_normal((num_locations, rank))
-    adjacency = np.diag(np.diag(laplacian)) - laplacian  # recover A from L
-    degrees = np.diag(laplacian)
-    eye = np.eye(rank)
-    masked = np.where(mask, values, 0.0)
+    program = _ALSProgram(
+        values=values,
+        mask=mask,
+        laplacian=laplacian,
+        factors_u=0.1 * rng.standard_normal((num_steps, rank)),
+        factors_v=0.1 * rng.standard_normal((num_locations, rank)),
+        ridge=ridge,
+        graph_weight=graph_weight,
+    )
+    Trainer(program, max_epochs=iterations).fit()
+    # program.rmse_history skips empty-mask sweeps (which have no
+    # residual to report) but keeps genuine NaN RMSEs visible, exactly
+    # like the pre-engine loop.
+    return program.factors_u, program.factors_v, program.rmse_history
 
-    history: list[float] = []
-    for _ in range(iterations):
+
+class _ALSProgram(TrainingProgram):
+    """One ALS sweep (closed-form U rows, Jacobi V update) per epoch.
+
+    No autograd, no optimiser: the whole gradient machinery of the
+    default ``train_batch`` is bypassed by overriding ``run_epoch``.  The
+    reported epoch loss is the masked reconstruction RMSE after the
+    sweep.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        mask: np.ndarray,
+        laplacian: np.ndarray,
+        factors_u: np.ndarray,
+        factors_v: np.ndarray,
+        ridge: float,
+        graph_weight: float,
+    ) -> None:
+        self.values = values
+        self.mask = mask
+        self.factors_u = factors_u
+        self.factors_v = factors_v
+        self.ridge = ridge
+        self.graph_weight = graph_weight
+        self.adjacency = np.diag(np.diag(laplacian)) - laplacian  # recover A from L
+        self.degrees = np.diag(laplacian)
+        self.eye = np.eye(factors_u.shape[1])
+        self.masked = np.where(mask, values, 0.0)
+        #: Masked reconstruction RMSE per sweep that had a residual.
+        self.rmse_history: list[float] = []
+
+    def run_epoch(self, epoch: int, rng: np.random.Generator | None) -> float:
+        values, mask = self.values, self.mask
+        factors_u, factors_v = self.factors_u, self.factors_v
+        eye = self.eye
+
         # --- U update: exact ridge per time step.
-        for t in range(num_steps):
+        for t in range(len(values)):
             cols = mask[t]
             if not cols.any():
                 factors_u[t] = 0.0
                 continue
             v_obs = factors_v[cols]
-            gram = v_obs.T @ v_obs + ridge * eye
+            gram = v_obs.T @ v_obs + self.ridge * eye
             factors_u[t] = np.linalg.solve(gram, v_obs.T @ values[t, cols])
 
         # --- V update: Jacobi step with Laplacian coupling.
         new_v = np.empty_like(factors_v)
         data_gram = factors_u.T @ factors_u  # reused for fully-observed rows
-        for i in range(num_locations):
+        for i in range(values.shape[1]):
             rows = mask[:, i]
             if rows.all():
                 gram = data_gram.copy()
             else:
                 u_obs = factors_u[rows]
                 gram = u_obs.T @ u_obs
-            gram += (ridge + graph_weight * degrees[i]) * eye
-            rhs = factors_u.T @ masked[:, i]
-            rhs += graph_weight * (adjacency[i] @ factors_v)
+            gram += (self.ridge + self.graph_weight * self.degrees[i]) * eye
+            rhs = factors_u.T @ self.masked[:, i]
+            rhs += self.graph_weight * (self.adjacency[i] @ factors_v)
             new_v[i] = np.linalg.solve(gram, rhs)
-        factors_v = new_v
+        self.factors_v = factors_v = new_v
 
         residual = (values - factors_u @ factors_v.T)[mask]
         if residual.size:
-            history.append(float(np.sqrt((residual ** 2).mean())))
-    return factors_u, factors_v, history
+            rmse = float(np.sqrt((residual ** 2).mean()))
+            self.rmse_history.append(rmse)
+            return rmse
+        # Empty mask: nothing to report; NaN marks the skipped sweep in
+        # the Trainer history without entering rmse_history.
+        return float("nan")
 
 
 class MatrixCompletionForecaster(Forecaster):

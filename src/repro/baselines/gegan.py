@@ -35,6 +35,7 @@ import numpy as np
 
 from ..autograd import Tensor, concatenate, no_grad
 from ..data.scalers import StandardScaler
+from ..engine import Trainer, TrainingProgram
 from ..graph.adjacency import gaussian_kernel_adjacency
 from ..graph.distances import euclidean_distance_matrix
 from ..interfaces import FitReport, Forecaster
@@ -82,6 +83,71 @@ class _Discriminator(Module):
         return logits.sigmoid()
 
 
+class _GEGANProgram(TrainingProgram):
+    """Adversarial two-optimiser step under the shared Trainer.
+
+    The default single-optimiser ``train_batch`` does not fit a GAN, so
+    this program overrides it: each epoch draws one conditioned batch,
+    steps the discriminator on real-vs-generated futures, then steps the
+    generator against the updated discriminator (+ auxiliary L2).  The
+    reported epoch loss is the generator's, matching the pre-engine
+    history.
+    """
+
+    def __init__(self, forecaster: "GEGANForecaster", usable: int,
+                 train_steps: np.ndarray) -> None:
+        self.forecaster = forecaster
+        self.network = forecaster.generator
+        self.g_opt = Adam(forecaster.generator.parameters(), lr=forecaster.learning_rate)
+        self.d_opt = Adam(forecaster.discriminator.parameters(), lr=forecaster.learning_rate)
+        self.usable = usable
+        self.train_steps = train_steps
+        self.ones = Tensor(np.ones((forecaster.batch_size, 1)))
+        self.zeros = Tensor(np.zeros((forecaster.batch_size, 1)))
+
+    def batches(self, epoch: int, rng: np.random.Generator | None):
+        forecaster = self.forecaster
+        spec = forecaster.spec
+        observed = forecaster.split.observed
+        targets = rng.choice(observed, size=forecaster.batch_size, replace=True)
+        starts = rng.integers(0, self.usable + 1, size=forecaster.batch_size)
+        conditions, futures = [], []
+        for target, s in zip(targets, starts):
+            begin = int(self.train_steps[0]) + int(s)
+            sims = forecaster._similar[int(target)]
+            window = forecaster._scaled[begin : begin + spec.input_length][:, sims]
+            conditions.append(window.T.ravel())
+            futures.append(
+                forecaster._scaled[begin + spec.input_length : begin + spec.total, int(target)]
+            )
+        condition = Tensor(np.stack(conditions, axis=0))
+        real = Tensor(np.stack(futures, axis=0))
+        noise = Tensor(rng.normal(size=(forecaster.batch_size, forecaster.noise_dim)))
+        yield condition, real, noise
+
+    def train_batch(self, batch, rng: np.random.Generator | None) -> float:
+        forecaster = self.forecaster
+        condition, real, noise = batch
+
+        # Discriminator step.
+        self.d_opt.zero_grad()
+        fake = forecaster.generator(noise, condition).detach()
+        d_loss = bce_loss(forecaster.discriminator(condition, real), self.ones) + bce_loss(
+            forecaster.discriminator(condition, Tensor(fake.numpy())), self.zeros
+        )
+        d_loss.backward()
+        self.d_opt.step()
+
+        # Generator step: fool D + auxiliary L2.
+        self.g_opt.zero_grad()
+        generated = forecaster.generator(noise, condition)
+        g_loss = bce_loss(forecaster.discriminator(condition, generated), self.ones)
+        g_loss = g_loss + forecaster.l2_weight * mse_loss(generated, real)
+        g_loss.backward()
+        self.g_opt.step()
+        return g_loss.item()
+
+
 class GEGANForecaster(Forecaster):
     """GE-GAN adapted to forecast an unobserved region.
 
@@ -96,6 +162,11 @@ class GEGANForecaster(Forecaster):
     l2_weight:
         Weight of the generator's auxiliary L2 term.
     """
+
+    #: predict() reseeds its noise generator per call, so a window's
+    #: output depends on its position in the batch — the serving layer
+    #: must not coalesce GE-GAN windows.
+    stateless_predict = False
 
     def __init__(
         self,
@@ -151,55 +222,18 @@ class GEGANForecaster(Forecaster):
         self.discriminator = _Discriminator(
             condition_dim, spec.horizon, self.hidden, weight_rng
         )
-        g_opt = Adam(self.generator.parameters(), lr=self.learning_rate)
-        d_opt = Adam(self.discriminator.parameters(), lr=self.learning_rate)
-
         usable = len(train_steps) - spec.total
         if usable < 1:
             raise ValueError("training period too short for the window spec")
 
-        history = []
-        ones = Tensor(np.ones((self.batch_size, 1)))
-        zeros = Tensor(np.zeros((self.batch_size, 1)))
-        for _ in range(self.iterations):
-            targets = rng.choice(observed, size=self.batch_size, replace=True)
-            starts = rng.integers(0, usable + 1, size=self.batch_size)
-            conditions, futures = [], []
-            for target, s in zip(targets, starts):
-                begin = int(train_steps[0]) + int(s)
-                sims = self._similar[int(target)]
-                window = self._scaled[begin : begin + spec.input_length][:, sims]
-                conditions.append(window.T.ravel())
-                futures.append(
-                    self._scaled[begin + spec.input_length : begin + spec.total, int(target)]
-                )
-            condition = Tensor(np.stack(conditions, axis=0))
-            real = Tensor(np.stack(futures, axis=0))
-            noise = Tensor(rng.normal(size=(self.batch_size, self.noise_dim)))
-
-            # Discriminator step.
-            d_opt.zero_grad()
-            fake = self.generator(noise, condition).detach()
-            d_loss = bce_loss(self.discriminator(condition, real), ones) + bce_loss(
-                self.discriminator(condition, Tensor(fake.numpy())), zeros
-            )
-            d_loss.backward()
-            d_opt.step()
-
-            # Generator step: fool D + auxiliary L2.
-            g_opt.zero_grad()
-            generated = self.generator(noise, condition)
-            g_loss = bce_loss(self.discriminator(condition, generated), ones)
-            g_loss = g_loss + self.l2_weight * mse_loss(generated, real)
-            g_loss.backward()
-            g_opt.step()
-            history.append(g_loss.item())
+        program = _GEGANProgram(self, usable, train_steps)
+        history = Trainer(program, max_epochs=self.iterations, rng=rng).fit()
 
         self._fitted = True
         return FitReport(
             train_seconds=time.perf_counter() - began,
             epochs=self.iterations,
-            history=history,
+            history=list(history.train_losses),
         )
 
     def predict(self, window_starts: np.ndarray) -> np.ndarray:

@@ -25,11 +25,12 @@ import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..data.scalers import StandardScaler
+from ..engine import Trainer, TrainingProgram
 from ..graph.distances import euclidean_distance_matrix
 from ..interfaces import FitReport, Forecaster
 from ..nn import Module, init, mse_loss
 from ..nn.module import Parameter
-from ..optim import Adam, clip_grad_norm
+from ..optim import Adam
 
 __all__ = ["DiffusionGCN", "IGNNKNetwork", "IGNNKForecaster"]
 
@@ -96,6 +97,61 @@ class IGNNKNetwork(Module):
         hidden = self.layer1(forward_t, backward_t, features).relu()
         hidden = (self.layer2(forward_t, backward_t, hidden) + hidden).relu()
         return self.layer3(forward_t, backward_t, hidden)
+
+
+class _IGNNKProgram(TrainingProgram):
+    """One IGNNK training iteration per engine epoch.
+
+    Each epoch draws a random observed sub-graph, masks a fraction of its
+    nodes, and reconstructs the future window — IGNNK's random-sampling
+    recipe expressed as a single-batch epoch.
+    """
+
+    def __init__(self, forecaster: "IGNNKForecaster", kernel_obs: np.ndarray,
+                 sample_nodes: int, usable: int, train_steps: np.ndarray) -> None:
+        self.forecaster = forecaster
+        self.network = forecaster.network
+        self.optimiser = Adam(self.network.parameters(), lr=forecaster.learning_rate)
+        self.grad_clip = 5.0
+        self.kernel_obs = kernel_obs
+        self.sample_nodes = sample_nodes
+        self.usable = usable
+        self.train_steps = train_steps
+
+    def batches(self, epoch: int, rng: np.random.Generator | None):
+        forecaster = self.forecaster
+        spec = forecaster.spec
+        observed = forecaster.split.observed
+        n_obs = len(observed)
+        node_subset = rng.choice(n_obs, size=self.sample_nodes, replace=False)
+        node_subset.sort()
+        sub_kernel = self.kernel_obs[np.ix_(node_subset, node_subset)]
+        forward_np, backward_np = _transition_matrices(sub_kernel)
+        num_masked = max(1, int(round(forecaster.mask_ratio * self.sample_nodes)))
+        masked_local = rng.choice(self.sample_nodes, size=num_masked, replace=False)
+
+        starts = rng.integers(0, self.usable + 1, size=forecaster.batch_windows)
+        xs, ys = [], []
+        for s in starts:
+            begin = int(self.train_steps[0]) + int(s)
+            window = forecaster._scaled[begin : begin + spec.input_length][:, observed[node_subset]]
+            target = forecaster._scaled[
+                begin + spec.input_length : begin + spec.total
+            ][:, observed[node_subset]]
+            window = window.copy()
+            window[:, masked_local] = 0.0
+            xs.append(window.T)  # (nodes, T)
+            ys.append(target.T)  # (nodes, T')
+        yield (
+            Tensor(forward_np),
+            Tensor(backward_np),
+            Tensor(np.stack(xs, axis=0)),
+            Tensor(np.stack(ys, axis=0)),
+        )
+
+    def compute_loss(self, batch, rng: np.random.Generator | None):
+        forward_t, backward_t, x, y = batch
+        return mse_loss(self.network(forward_t, backward_t, x), y)
 
 
 class IGNNKForecaster(Forecaster):
@@ -165,7 +221,6 @@ class IGNNKForecaster(Forecaster):
             spec.input_length, spec.horizon, hidden=self.hidden,
             diffusion_steps=self.diffusion_steps, seed=self.seed,
         )
-        optimiser = Adam(self.network.parameters(), lr=self.learning_rate)
 
         sample_nodes = self.sample_nodes or max(4, int(0.75 * n_obs))
         sample_nodes = min(sample_nodes, n_obs)
@@ -173,37 +228,8 @@ class IGNNKForecaster(Forecaster):
         if usable < 1:
             raise ValueError("training period too short for the window spec")
 
-        history = []
-        for _ in range(self.iterations):
-            node_subset = rng.choice(n_obs, size=sample_nodes, replace=False)
-            node_subset.sort()
-            sub_kernel = kernel_obs[np.ix_(node_subset, node_subset)]
-            forward_np, backward_np = _transition_matrices(sub_kernel)
-            forward_t, backward_t = Tensor(forward_np), Tensor(backward_np)
-            num_masked = max(1, int(round(self.mask_ratio * sample_nodes)))
-            masked_local = rng.choice(sample_nodes, size=num_masked, replace=False)
-
-            starts = rng.integers(0, usable + 1, size=self.batch_windows)
-            xs, ys = [], []
-            for s in starts:
-                begin = int(train_steps[0]) + int(s)
-                window = self._scaled[begin : begin + spec.input_length][:, observed[node_subset]]
-                target = self._scaled[
-                    begin + spec.input_length : begin + spec.total
-                ][:, observed[node_subset]]
-                window = window.copy()
-                window[:, masked_local] = 0.0
-                xs.append(window.T)  # (nodes, T)
-                ys.append(target.T)  # (nodes, T')
-            x = Tensor(np.stack(xs, axis=0))
-            y = Tensor(np.stack(ys, axis=0))
-            optimiser.zero_grad()
-            prediction = self.network(forward_t, backward_t, x)
-            loss = mse_loss(prediction, y)
-            loss.backward()
-            clip_grad_norm(self.network.parameters(), 5.0)
-            optimiser.step()
-            history.append(loss.item())
+        program = _IGNNKProgram(self, kernel_obs, sample_nodes, usable, train_steps)
+        history = Trainer(program, max_epochs=self.iterations, rng=rng).fit()
 
         # Precompute full-graph transitions for prediction.
         forward_np, backward_np = _transition_matrices(self._kernel_full)
@@ -213,7 +239,7 @@ class IGNNKForecaster(Forecaster):
         return FitReport(
             train_seconds=time.perf_counter() - began,
             epochs=self.iterations,
-            history=history,
+            history=list(history.train_losses),
         )
 
     def predict(self, window_starts: np.ndarray) -> np.ndarray:

@@ -25,10 +25,11 @@ import numpy as np
 
 from ..autograd import Tensor, concatenate, no_grad, softmax, stack
 from ..data.scalers import StandardScaler
+from ..engine import Trainer, TrainingProgram
 from ..graph.distances import euclidean_distance_matrix
 from ..interfaces import FitReport, Forecaster
 from ..nn import GRU, Linear, Module, init, mse_loss
-from ..optim import Adam, clip_grad_norm
+from ..optim import Adam
 
 __all__ = ["INCREASENetwork", "INCREASEForecaster"]
 
@@ -73,6 +74,50 @@ def _relation_weights(
     order = np.argsort(scores)[::-1][:neighbour_count]
     raw = np.maximum(scores[order], 1e-9)
     return order, raw / raw.sum()
+
+
+class _INCREASEProgram(TrainingProgram):
+    """One INCREASE training iteration per engine epoch.
+
+    Each epoch draws random (target, window) pairs among the observed
+    locations and regresses the gated relation fusion onto the targets'
+    future windows — a single-batch epoch under the shared Trainer.
+    """
+
+    def __init__(self, forecaster: "INCREASEForecaster", usable: int,
+                 train_steps: np.ndarray) -> None:
+        self.forecaster = forecaster
+        self.network = forecaster.network
+        self.optimiser = Adam(self.network.parameters(), lr=forecaster.learning_rate)
+        self.grad_clip = 5.0
+        self.usable = usable
+        self.train_steps = train_steps
+
+    def batches(self, epoch: int, rng: np.random.Generator | None):
+        forecaster = self.forecaster
+        spec = forecaster.spec
+        observed = forecaster.split.observed
+        targets = rng.choice(observed, size=forecaster.batch_size, replace=True)
+        starts = rng.integers(0, self.usable + 1, size=forecaster.batch_size)
+        relation_batches: list[list[np.ndarray]] = [[] for _ in forecaster._scores]
+        labels = []
+        for target, s in zip(targets, starts):
+            begin = int(self.train_steps[0]) + int(s)
+            window = forecaster._scaled[begin : begin + spec.input_length]
+            sources = observed[observed != target]
+            for r, series in enumerate(forecaster._aggregate(window, int(target), sources)):
+                relation_batches[r].append(series)
+            labels.append(
+                forecaster._scaled[begin + spec.input_length : begin + spec.total, int(target)]
+            )
+        inputs = [
+            Tensor(np.stack(batch, axis=0)[..., None]) for batch in relation_batches
+        ]
+        yield inputs, Tensor(np.stack(labels, axis=0))
+
+    def compute_loss(self, batch, rng: np.random.Generator | None):
+        inputs, y = batch
+        return mse_loss(self.network(inputs), y)
 
 
 class INCREASEForecaster(Forecaster):
@@ -152,44 +197,19 @@ class INCREASEForecaster(Forecaster):
             num_relations=len(self._scores), horizon=spec.horizon,
             hidden=self.hidden, seed=self.seed,
         )
-        optimiser = Adam(self.network.parameters(), lr=self.learning_rate)
 
         usable = len(train_steps) - spec.total
         if usable < 1:
             raise ValueError("training period too short for the window spec")
 
-        history = []
-        for _ in range(self.iterations):
-            targets = rng.choice(observed, size=self.batch_size, replace=True)
-            starts = rng.integers(0, usable + 1, size=self.batch_size)
-            relation_batches: list[list[np.ndarray]] = [[] for _ in self._scores]
-            labels = []
-            for target, s in zip(targets, starts):
-                begin = int(train_steps[0]) + int(s)
-                window = self._scaled[begin : begin + spec.input_length]
-                sources = observed[observed != target]
-                for r, series in enumerate(self._aggregate(window, int(target), sources)):
-                    relation_batches[r].append(series)
-                labels.append(
-                    self._scaled[begin + spec.input_length : begin + spec.total, int(target)]
-                )
-            inputs = [
-                Tensor(np.stack(batch, axis=0)[..., None]) for batch in relation_batches
-            ]
-            y = Tensor(np.stack(labels, axis=0))
-            optimiser.zero_grad()
-            prediction = self.network(inputs)
-            loss = mse_loss(prediction, y)
-            loss.backward()
-            clip_grad_norm(self.network.parameters(), 5.0)
-            optimiser.step()
-            history.append(loss.item())
+        program = _INCREASEProgram(self, usable, train_steps)
+        history = Trainer(program, max_epochs=self.iterations, rng=rng).fit()
 
         self._fitted = True
         return FitReport(
             train_seconds=time.perf_counter() - began,
             epochs=self.iterations,
-            history=history,
+            history=list(history.train_losses),
         )
 
     def predict(self, window_starts: np.ndarray) -> np.ndarray:

@@ -57,6 +57,13 @@ class STSMConfig:
     grad_clip: float = 5.0
     window_stride: int = 1
     seed: int = 0
+    #: Optional LR schedule applied by the training engine: None/"none"
+    #: keeps the paper's constant rate, "step" decays by ``lr_gamma``
+    #: every ``lr_step_size`` epochs, "cosine" anneals to 0 over
+    #: ``epochs``.
+    lr_schedule: str | None = None
+    lr_step_size: int = 10
+    lr_gamma: float = 0.5
 
     # Masking (paper §3.3 / §4.1)
     mask_ratio: float = 0.5
@@ -110,6 +117,10 @@ class STSMConfig:
             raise ValueError("adjacency thresholds must be in (0, 1]")
         if self.hidden_dim <= 0 or self.num_blocks <= 0:
             raise ValueError("architecture sizes must be positive")
+        if self.lr_schedule not in (None, "none", "step", "cosine"):
+            raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+        if self.lr_step_size <= 0:
+            raise ValueError("lr_step_size must be positive")
 
 
 def config_for_dataset(dataset_name: str, **overrides) -> STSMConfig:

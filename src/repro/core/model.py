@@ -15,6 +15,15 @@ Training (per epoch):
 Early stopping monitors RMSE on the validation locations (treated as
 masked, mirroring test conditions).
 
+Training runs through the shared :class:`repro.engine.Trainer`: this
+module only contributes the STSM-specific epoch body (mask redraw,
+pseudo-observation fill, ``A_dtw^train`` rebuild, prediction +
+contrastive loss) as a :class:`repro.engine.TrainingProgram`.  Two
+engine caches make the per-epoch rebuild cheap without changing any
+numbers: a mask-keyed LRU over (pseudo-fill, normalised adjacency)
+pairs, and a per-pair DTW memo so profiles untouched by the fresh mask
+never re-run the dynamic program.
+
 Testing (§3.5): pseudo-observations fill the unobserved columns of the
 full graph, ``A_dtw`` is rebuilt with observed→unobserved one-way edges,
 and the trained network predicts the horizon for every requested window.
@@ -31,11 +40,12 @@ from ..data.dataset import SpatioTemporalDataset
 from ..data.scalers import StandardScaler
 from ..data.splits import SpaceSplit
 from ..data.windows import WindowSpec, iterate_batches
+from ..engine import EarlyStopping, LRUCache, PairwiseDTWCache, Trainer, TrainingProgram, array_key
 from ..graph.adjacency import gaussian_kernel_adjacency, gcn_normalise
 from ..graph.distances import euclidean_distance_matrix
 from ..interfaces import FitReport, Forecaster
 from ..nn import mse_loss, nt_xent_loss
-from ..optim import Adam, clip_grad_norm
+from ..optim import Adam, build_scheduler
 from ..temporal import build_dtw_adjacency, normalised_time_encoding
 from .config import STSMConfig
 from .features import compute_subgraph_similarity
@@ -70,6 +80,121 @@ def compute_distance_matrices(
     if mode == "road_all":
         return road, road
     raise ValueError(f"unknown distance mode {mode!r}")
+
+
+class _STSMProgram(TrainingProgram):
+    """STSM's per-epoch body, driven by the shared :class:`Trainer`.
+
+    ``on_epoch_start`` draws the mask and rebuilds the masked view
+    (pseudo-fill + ``A_dtw^train``) — memoised by mask content so a
+    repeated draw costs a cache lookup; ``compute_loss`` evaluates the
+    prediction (+ contrastive) objective on one shuffled window batch.
+    """
+
+    def __init__(
+        self,
+        forecaster: "STSMForecaster",
+        draw_mask,
+        scaled_obs: np.ndarray,
+        dist_obs: np.ndarray,
+        train_steps: np.ndarray,
+        starts: np.ndarray,
+        a_s_train_t: Tensor,
+        a_dtw_orig_t: Tensor,
+        val_filled: np.ndarray,
+        val_starts: np.ndarray,
+        val_local: np.ndarray,
+        a_dtw_val_t: Tensor,
+    ) -> None:
+        self.forecaster = forecaster
+        self.network = forecaster.network
+        cfg = forecaster.config
+        self.cfg = cfg
+        self.optimiser = Adam(self.network.parameters(), lr=cfg.learning_rate)
+        self.grad_clip = cfg.grad_clip
+        self.draw_mask = draw_mask
+        self.scaled_obs = scaled_obs
+        self.dist_obs = dist_obs
+        self.train_steps = train_steps
+        self.starts = starts
+        self.a_s_train_t = a_s_train_t
+        self.a_dtw_orig_t = a_dtw_orig_t
+        self.val_filled = val_filled
+        self.val_starts = val_starts
+        self.val_local = val_local
+        self.a_dtw_val_t = a_dtw_val_t
+        # Per-epoch masked view, set by on_epoch_start.
+        self.filled: np.ndarray | None = None
+        self.a_dtw_train_t: Tensor | None = None
+
+    def on_epoch_start(self, epoch: int, rng: np.random.Generator | None) -> None:
+        cfg = self.cfg
+        n_obs = self.scaled_obs.shape[1]
+        mask_local = self.draw_mask(rng)
+        source_local = np.setdiff1d(np.arange(n_obs), mask_local)
+        # The IDW fill is cheap and deterministic per mask; recompute it
+        # every epoch so the mask cache holds only the small
+        # (n_obs, n_obs) adjacency, not T x N_o fill matrices.
+        self.filled = fill_pseudo_observations(
+            self.scaled_obs,
+            self.dist_obs,
+            target_index=mask_local,
+            source_index=source_local,
+            k=cfg.pseudo_k,
+        )
+        a_dtw_norm = self.forecaster._mask_cache.get_or_compute(
+            array_key(mask_local),
+            lambda: self._masked_adjacency(mask_local, source_local),
+        )
+        self.a_dtw_train_t = Tensor(a_dtw_norm)
+
+    def _masked_adjacency(self, mask_local: np.ndarray, source_local: np.ndarray) -> np.ndarray:
+        """Normalised ``A_dtw^train`` for one drawn mask."""
+        forecaster = self.forecaster
+        cfg = self.cfg
+        a_dtw_train = build_dtw_adjacency(
+            self.filled[self.train_steps],
+            observed_index=source_local,
+            target_index=mask_local,
+            steps_per_day=forecaster.dataset.steps_per_day,
+            num_nodes=self.scaled_obs.shape[1],
+            q_kk=cfg.q_kk,
+            q_ku=cfg.q_ku,
+            resolution=cfg.dtw_resolution,
+            distance_fn=forecaster._dtw_cache.distance_matrix,
+        )
+        return gcn_normalise(a_dtw_train)
+
+    def batches(self, epoch: int, rng: np.random.Generator | None):
+        return iterate_batches(
+            self.starts, self.cfg.batch_size, rng=rng, drop_last=self.cfg.contrastive
+        )
+
+    def compute_loss(self, batch: np.ndarray, rng: np.random.Generator | None):
+        forecaster = self.forecaster
+        cfg = self.cfg
+        x_masked, te, y = forecaster._make_batch(
+            self.filled, self.scaled_obs, batch, self.train_steps
+        )
+        predictions, z_masked = self.network(x_masked, te, self.a_s_train_t, self.a_dtw_train_t)
+        loss = mse_loss(predictions, y)
+        if cfg.contrastive and len(batch) >= 2:
+            x_orig = forecaster._window_tensor(self.scaled_obs, batch, self.train_steps)
+            _, z_orig = self.network(x_orig, te, self.a_s_train_t, self.a_dtw_orig_t)
+            loss = loss + cfg.contrastive_weight * nt_xent_loss(
+                z_orig, z_masked, temperature=cfg.temperature
+            )
+        return loss
+
+    def validation_score(self, epoch: int) -> float:
+        return self.forecaster._validation_rmse(
+            self.val_filled,
+            self.val_starts,
+            self.val_local,
+            self.a_s_train_t,
+            self.a_dtw_val_t,
+            self.train_steps,
+        )
 
 
 class STSMForecaster(Forecaster):
@@ -143,14 +268,13 @@ class STSMForecaster(Forecaster):
                 similarity, a_sg_train, cfg.mask_ratio, top_k=cfg.top_k
             )
             self.masking_probabilities = masker.probabilities
-            draw_mask = lambda: masker.draw(rng)  # noqa: E731 - tiny closure
+            draw_mask = masker.draw
         else:
             self.masking_probabilities = None
-            draw_mask = lambda: random_subgraph_mask(a_sg_train, cfg.mask_ratio, rng)  # noqa: E731
+            draw_mask = lambda rng_: random_subgraph_mask(a_sg_train, cfg.mask_ratio, rng_)  # noqa: E731
 
-        # --- network & optimiser ----------------------------------------------
+        # --- network ----------------------------------------------------------
         self.network = STSMNetwork(cfg, horizon=spec.horizon, input_length=spec.input_length)
-        optimiser = Adam(self.network.parameters(), lr=cfg.learning_rate)
 
         # --- static adjacency for the original (complete) view -----------------
         a_s_train_t = Tensor(gcn_normalise(a_s_train))
@@ -200,78 +324,47 @@ class STSMForecaster(Forecaster):
         val_stride = max(1, (usable + 1) // 16)
         val_starts = np.arange(0, usable + 1, val_stride)
 
-        history: list[float] = []
-        best_val = np.inf
-        best_state = None
-        patience_left = cfg.patience
+        # --- shared engine: trainer + caches -----------------------------------
+        self._dtw_cache = PairwiseDTWCache()
+        self._mask_cache = LRUCache(maxsize=64)
+        program = _STSMProgram(
+            self,
+            draw_mask,
+            scaled_obs=scaled_full[:, observed],
+            dist_obs=dist_pseudo[obs_ix],
+            train_steps=train_steps,
+            starts=starts,
+            a_s_train_t=a_s_train_t,
+            a_dtw_orig_t=a_dtw_orig_t,
+            val_filled=val_filled,
+            val_starts=val_starts,
+            val_local=val_local,
+            a_dtw_val_t=a_dtw_val_t,
+        )
+        early_stopping = EarlyStopping(patience=cfg.patience)
+        scheduler = build_scheduler(
+            cfg.lr_schedule,
+            program.optimiser,
+            total_epochs=cfg.epochs,
+            step_size=cfg.lr_step_size,
+            gamma=cfg.lr_gamma,
+        )
+        trainer = Trainer(
+            program,
+            max_epochs=cfg.epochs,
+            rng=rng,
+            early_stopping=early_stopping,
+            schedulers=[scheduler] if scheduler is not None else None,
+        )
+        history = trainer.fit()
 
-        for epoch in range(cfg.epochs):
-            mask_local = draw_mask()
-            source_local = np.setdiff1d(np.arange(n_obs), mask_local)
-            filled = fill_pseudo_observations(
-                scaled_full[:, observed],
-                dist_pseudo[obs_ix],
-                target_index=mask_local,
-                source_index=source_local,
-                k=cfg.pseudo_k,
-            )
-            a_dtw_train = build_dtw_adjacency(
-                filled[train_steps],
-                observed_index=source_local,
-                target_index=mask_local,
-                steps_per_day=steps_per_day,
-                num_nodes=n_obs,
-                q_kk=cfg.q_kk,
-                q_ku=cfg.q_ku,
-                resolution=cfg.dtw_resolution,
-            )
-            a_dtw_train_t = Tensor(gcn_normalise(a_dtw_train))
-
-            self.network.train()
-            epoch_loss = 0.0
-            num_batches = 0
-            need_negatives = cfg.contrastive
-            for batch_starts in iterate_batches(
-                starts, cfg.batch_size, rng=rng, drop_last=need_negatives
-            ):
-                x_masked, te, y = self._make_batch(filled, scaled_full[:, observed], batch_starts, train_steps)
-                optimiser.zero_grad()
-                predictions, z_masked = self.network(x_masked, te, a_s_train_t, a_dtw_train_t)
-                loss = mse_loss(predictions, y)
-                if cfg.contrastive and len(batch_starts) >= 2:
-                    x_orig = self._window_tensor(scaled_full[:, observed], batch_starts, train_steps)
-                    _, z_orig = self.network(x_orig, te, a_s_train_t, a_dtw_orig_t)
-                    loss = loss + cfg.contrastive_weight * nt_xent_loss(
-                        z_orig, z_masked, temperature=cfg.temperature
-                    )
-                loss.backward()
-                clip_grad_norm(self.network.parameters(), cfg.grad_clip)
-                optimiser.step()
-                epoch_loss += loss.item()
-                num_batches += 1
-            history.append(epoch_loss / max(num_batches, 1))
-
-            val_rmse = self._validation_rmse(
-                val_filled, val_starts, val_local, a_s_train_t, a_dtw_val_t, train_steps
-            )
-            if val_rmse < best_val - 1e-9:
-                best_val = val_rmse
-                best_state = self.network.state_dict()
-                patience_left = cfg.patience
-            else:
-                patience_left -= 1
-                if patience_left <= 0:
-                    break
-
-        if best_state is not None:
-            self.network.load_state_dict(best_state)
         self._fitted = True
         self._prepare_test_graph()
         return FitReport(
             train_seconds=time.perf_counter() - started,
-            epochs=len(history),
-            history=history,
-            extra={"best_val_rmse": float(best_val)},
+            epochs=history.epochs,
+            history=list(history.train_losses),
+            extra={"best_val_rmse": float(early_stopping.best_score)},
         )
 
     # ------------------------------------------------------------------

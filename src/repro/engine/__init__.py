@@ -1,0 +1,24 @@
+"""Shared training engine: one epoch loop for every learned forecaster.
+
+STSM and the learned baselines (IGNNK, GE-GAN, INCREASE, matrix
+completion) all fit through :class:`Trainer` by expressing their
+model-specific pieces as a :class:`TrainingProgram`; early stopping,
+best-weight restore, loss history, LR scheduling and gradient clipping
+live here exactly once.  :mod:`repro.engine.cache` adds the
+content-addressed memoisation (mask-keyed adjacency/pseudo-observation
+reuse, per-pair DTW) that makes repeated epochs and repeated fits cheap.
+"""
+
+from .cache import LRUCache, PairwiseDTWCache, array_key
+from .callbacks import EarlyStopping, History
+from .trainer import Trainer, TrainingProgram
+
+__all__ = [
+    "EarlyStopping",
+    "History",
+    "LRUCache",
+    "PairwiseDTWCache",
+    "Trainer",
+    "TrainingProgram",
+    "array_key",
+]

@@ -1,0 +1,107 @@
+"""Training callbacks shared by every learned forecaster.
+
+The :class:`Trainer` drives these; they carry no model-specific logic.
+``EarlyStopping`` reproduces the monitoring rule STSM used inline before
+the engine refactor: an epoch "improves" only when the monitored score
+drops below the best score by more than ``min_delta`` (a NaN score never
+improves, so models without a validation signal simply exhaust their
+patience), and the best epoch's weights are snapshotted so they can be
+restored when training stops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = ["EarlyStopping", "History"]
+
+
+class History:
+    """Per-epoch training curve collected by the :class:`Trainer`.
+
+    Attributes
+    ----------
+    train_losses:
+        One entry per completed epoch (mean batch loss, or whatever the
+        program's ``run_epoch`` returns).
+    val_scores:
+        Monitored validation scores, aligned with ``train_losses``; NaN
+        when the program produced no score that epoch.
+    """
+
+    def __init__(self) -> None:
+        self.train_losses: list[float] = []
+        self.val_scores: list[float] = []
+
+    def record(self, train_loss: float, val_score: float | None = None) -> None:
+        self.train_losses.append(float(train_loss))
+        self.val_scores.append(float("nan") if val_score is None else float(val_score))
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_losses)
+
+    def best_val(self) -> float:
+        """Smallest recorded validation score (NaN if none was finite)."""
+        finite = [s for s in self.val_scores if np.isfinite(s)]
+        return min(finite) if finite else float("nan")
+
+    def __len__(self) -> int:
+        return self.epochs
+
+    def __repr__(self) -> str:
+        return f"History(epochs={self.epochs}, best_val={self.best_val():.6g})"
+
+
+class EarlyStopping:
+    """Stop training when the monitored score stops improving.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated before
+        :attr:`should_stop` turns True.
+    min_delta:
+        Required improvement margin: ``score < best - min_delta``.
+
+    The callback snapshots the program's state dict on every improvement
+    and can :meth:`restore` it afterwards, so the model ends at its best
+    validation epoch rather than its last.
+    """
+
+    def __init__(self, patience: int, min_delta: float = 1e-9) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_score = float("inf")
+        self.best_state: Mapping[str, np.ndarray] | None = None
+        self._patience_left = patience
+
+    def update(self, score: float, snapshot: Callable[[], Mapping[str, np.ndarray]]) -> bool:
+        """Record one epoch's score; returns True when it improved.
+
+        ``snapshot`` is only invoked on improvement, so programs with
+        expensive state dicts pay nothing on flat epochs.  A NaN score
+        compares False against any best and therefore never improves.
+        """
+        if score < self.best_score - self.min_delta:
+            self.best_score = float(score)
+            self.best_state = snapshot()
+            self._patience_left = self.patience
+            return True
+        self._patience_left -= 1
+        return False
+
+    @property
+    def should_stop(self) -> bool:
+        return self._patience_left <= 0
+
+    def restore(self, load: Callable[[Mapping[str, np.ndarray]], None]) -> bool:
+        """Load the best snapshot back; returns False if none was taken."""
+        if self.best_state is None:
+            return False
+        load(self.best_state)
+        return True

@@ -1,0 +1,183 @@
+"""Shared training engine driving every learned forecaster.
+
+Before this engine existed, STSM and the four learned baselines each
+hand-rolled an epoch/batch loop with subtly different validation and
+checkpointing behaviour.  The :class:`Trainer` consolidates that
+machinery — seeded epoch iteration, per-batch gradient steps with
+clipping, LR-scheduler hooks, loss history, early stopping with
+best-weight restore — behind one loop, while each model contributes only
+the parts that are genuinely model-specific through a
+:class:`TrainingProgram`.
+
+Determinism contract: the Trainer threads a single ``numpy`` Generator
+through the program hooks in a fixed order (``on_epoch_start`` →
+``batches`` → ``train_batch``), so a program that consumed randomness in
+that order before the refactor produces bit-identical draws after it.
+
+Hook surface (override what the model needs, inherit the rest):
+
+``on_epoch_start(epoch, rng)``
+    Per-epoch state rebuild — STSM redraws its mask and rebuilds the
+    temporal adjacency here.
+``batches(epoch, rng)``
+    Yields opaque batch objects.  Iteration-style models (IGNNK,
+    INCREASE, GE-GAN) yield exactly one freshly drawn batch per epoch.
+``train_batch(batch, rng)``
+    One gradient step; the default implements the standard
+    zero-grad → loss → backward → clip → step sequence with the
+    program's single ``optimiser``.  GE-GAN overrides it with its
+    two-optimiser adversarial step.
+``run_epoch(epoch, rng)``
+    The default averages ``train_batch`` losses over ``batches``; purely
+    non-gradient models (ALS matrix completion) replace the whole epoch
+    body instead.
+``validation_score(epoch)``
+    Monitored score for early stopping; ``None`` disables monitoring.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..nn.module import Module
+from ..optim import Optimizer, clip_grad_norm
+from .callbacks import EarlyStopping, History
+
+__all__ = ["TrainingProgram", "Trainer"]
+
+
+class TrainingProgram:
+    """Model-specific hooks consumed by the :class:`Trainer`.
+
+    Subclasses set :attr:`network` (checkpointed by early stopping and
+    toggled into train mode each epoch), :attr:`optimiser` and
+    :attr:`grad_clip` (used by the default ``train_batch``), or override
+    the corresponding hooks outright.
+    """
+
+    #: Main module, used for train-mode toggling and state snapshots.
+    network: Module | None = None
+    #: Optimiser driving the default ``train_batch``.
+    optimiser: Optimizer | None = None
+    #: Global gradient-norm ceiling (None disables clipping).
+    grad_clip: float | None = None
+
+    # -- per-epoch hooks ------------------------------------------------
+    def on_epoch_start(self, epoch: int, rng: np.random.Generator | None) -> None:
+        """Rebuild per-epoch state (masks, adjacencies, ...)."""
+
+    def batches(self, epoch: int, rng: np.random.Generator | None) -> Iterator:
+        """Yield the epoch's batches (draw randomness from ``rng``)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement batches() or override run_epoch()"
+        )
+
+    def compute_loss(self, batch, rng: np.random.Generator | None):
+        """Forward pass returning the scalar loss Tensor for ``batch``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement compute_loss() or override train_batch()"
+        )
+
+    def train_batch(self, batch, rng: np.random.Generator | None) -> float:
+        """One optimisation step; returns the batch loss as a float."""
+        if self.optimiser is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has no optimiser; set one or override train_batch()"
+            )
+        self.optimiser.zero_grad()
+        loss = self.compute_loss(batch, rng)
+        loss.backward()
+        if self.grad_clip is not None:
+            clip_grad_norm(self.optimiser.parameters, self.grad_clip)
+        self.optimiser.step()
+        return loss.item()
+
+    def run_epoch(self, epoch: int, rng: np.random.Generator | None) -> float:
+        """Run all batches of one epoch; returns the mean batch loss."""
+        total = 0.0
+        count = 0
+        for batch in self.batches(epoch, rng):
+            total += self.train_batch(batch, rng)
+            count += 1
+        return total / max(count, 1)
+
+    def validation_score(self, epoch: int) -> float | None:
+        """Score monitored by early stopping (lower is better)."""
+        return None
+
+    # -- mode & checkpointing -------------------------------------------
+    def set_train_mode(self, mode: bool) -> None:
+        if self.network is not None:
+            self.network.train(mode)
+
+    def state_dict(self) -> Mapping[str, np.ndarray]:
+        if self.network is None:
+            raise RuntimeError(f"{type(self).__name__} has no network to snapshot")
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        if self.network is None:
+            raise RuntimeError(f"{type(self).__name__} has no network to restore")
+        self.network.load_state_dict(state)
+
+
+class Trainer:
+    """Seeded epoch loop shared by all learned forecasters.
+
+    Parameters
+    ----------
+    program:
+        The model's :class:`TrainingProgram`.
+    max_epochs:
+        Upper bound on epochs (iteration-style models pass their
+        iteration budget and yield one batch per epoch).
+    rng:
+        Generator threaded through every program hook; ``None`` for
+        programs that consume no randomness (e.g. ALS sweeps).
+    early_stopping:
+        Optional :class:`EarlyStopping`; consulted only on epochs whose
+        ``validation_score`` is not ``None``, and its best snapshot is
+        restored once training ends.
+    schedulers:
+        LR schedulers whose ``step()`` advances once per completed epoch
+        (after the epoch's gradient steps, before the next epoch).
+    """
+
+    def __init__(
+        self,
+        program: TrainingProgram,
+        *,
+        max_epochs: int,
+        rng: np.random.Generator | None = None,
+        early_stopping: EarlyStopping | None = None,
+        schedulers: Iterable | None = None,
+    ) -> None:
+        if max_epochs < 0:
+            raise ValueError(f"max_epochs must be >= 0, got {max_epochs}")
+        self.program = program
+        self.max_epochs = max_epochs
+        self.rng = rng
+        self.early_stopping = early_stopping
+        self.schedulers = list(schedulers) if schedulers is not None else []
+        self.history = History()
+
+    def fit(self) -> History:
+        """Run the training loop; returns the recorded :class:`History`."""
+        program = self.program
+        for epoch in range(self.max_epochs):
+            program.on_epoch_start(epoch, self.rng)
+            program.set_train_mode(True)
+            train_loss = program.run_epoch(epoch, self.rng)
+            score = program.validation_score(epoch)
+            self.history.record(train_loss, score)
+            for scheduler in self.schedulers:
+                scheduler.step()
+            if self.early_stopping is not None and score is not None:
+                self.early_stopping.update(score, program.state_dict)
+                if self.early_stopping.should_stop:
+                    break
+        if self.early_stopping is not None:
+            self.early_stopping.restore(program.load_state_dict)
+        return self.history

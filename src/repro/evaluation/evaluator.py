@@ -67,12 +67,22 @@ def evaluate_forecaster(
     train_fraction: float = 0.7,
     test_stride: int | None = None,
     max_test_windows: int | None = 64,
+    use_service: bool = False,
 ) -> EvaluationResult:
     """Fit and evaluate one model on one dataset/split.
 
     ``max_test_windows`` caps the number of evaluated windows (spread
     evenly over the test period) so reduced-scale benchmark runs stay
     fast; pass ``None`` to use every window.
+
+    ``use_service`` routes the test predictions through a
+    :class:`~repro.serving.ForecastService` (coalesced batches +
+    per-window LRU cache) instead of one direct ``predict`` call; the
+    service's counters land in ``result.extra["service"]``.  For
+    stateless models the outputs (and hence metrics) are identical
+    either way; for stateful ones (GE-GAN) the service issues
+    per-window ``predict`` calls, which draw different noise than one
+    batched call, so its metrics differ between the two paths.
     """
     split.validate(dataset.num_locations)
     train_ix, _test_ix = temporal_split(dataset.num_steps, train_fraction)
@@ -81,8 +91,16 @@ def evaluate_forecaster(
     starts = forecast_window_starts(
         dataset, spec, train_fraction, stride=test_stride, max_windows=max_test_windows
     )
+    extra: dict = {}
     began = time.perf_counter()
-    predictions = forecaster.predict(starts)
+    if use_service:
+        from ..serving import ForecastService  # local import: avoid cycle
+
+        service = ForecastService(forecaster, cache_size=max(len(starts), 1))
+        predictions = service.forecast(starts)
+        extra["service"] = service.stats
+    else:
+        predictions = forecaster.predict(starts)
     test_seconds = time.perf_counter() - began
 
     truth = np.stack(
@@ -104,6 +122,7 @@ def evaluate_forecaster(
         fit_report=fit_report,
         test_seconds=test_seconds,
         num_windows=len(starts),
+        extra=extra,
     )
 
 

@@ -123,9 +123,15 @@ def run_matrix(
     scale: ExperimentScale,
     splits: list[SpaceSplit] | None = None,
     seed: int = 0,
+    use_service: bool = False,
     **stsm_overrides,
 ) -> dict[str, dict]:
     """Evaluate each model on each split; return per-model averages.
+
+    ``use_service`` serves every model's test predictions through the
+    batched/cached :class:`~repro.serving.ForecastService` (identical
+    outputs for stateless models; service counters appear in each
+    result's ``extra``).
 
     Returns ``{model_name: {"metrics": Metrics, "results": [...],
     "train_seconds": float, "test_seconds": float}}``.
@@ -151,6 +157,7 @@ def run_matrix(
                     split,
                     spec,
                     max_test_windows=scale.max_test_windows,
+                    use_service=use_service,
                 )
             )
         out[model_name] = {

@@ -50,6 +50,14 @@ class Forecaster(abc.ABC):
     #: Human-readable model name used in result tables.
     name: str = "forecaster"
 
+    #: Whether ``predict`` gives each window the same answer regardless
+    #: of which other windows share the batch.  True for deterministic
+    #: per-window models; GE-GAN sets False (its noise generator reseeds
+    #: per call, coupling outputs to batch composition).  The serving
+    #: layer batches only stateless models and falls back to per-window
+    #: calls otherwise.
+    stateless_predict: bool = True
+
     @abc.abstractmethod
     def fit(
         self,

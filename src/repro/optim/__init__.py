@@ -1,6 +1,14 @@
 """Gradient-based optimisers (Adam per the paper, plus SGD and schedulers)."""
 
 from .optimizers import SGD, Adam, Optimizer, clip_grad_norm
-from .schedulers import CosineAnnealingLR, StepLR
+from .schedulers import CosineAnnealingLR, StepLR, build_scheduler
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineAnnealingLR"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "StepLR",
+    "CosineAnnealingLR",
+    "build_scheduler",
+]

@@ -6,7 +6,7 @@ import math
 
 from .optimizers import Optimizer
 
-__all__ = ["StepLR", "CosineAnnealingLR"]
+__all__ = ["StepLR", "CosineAnnealingLR", "build_scheduler"]
 
 
 class StepLR:
@@ -46,3 +46,28 @@ class CosineAnnealingLR:
         ratio = self.epoch / self.total_epochs
         cosine = 0.5 * (1.0 + math.cos(math.pi * ratio))
         self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+def build_scheduler(
+    kind: str | None,
+    optimizer: Optimizer,
+    *,
+    total_epochs: int | None = None,
+    step_size: int = 10,
+    gamma: float = 0.5,
+    min_lr: float = 0.0,
+):
+    """Scheduler factory used by the training engine's scheduler hook.
+
+    ``kind`` is ``None``/``"none"`` (no schedule), ``"step"`` or
+    ``"cosine"``; the cosine schedule requires ``total_epochs``.
+    """
+    if kind is None or kind == "none":
+        return None
+    if kind == "step":
+        return StepLR(optimizer, step_size=step_size, gamma=gamma)
+    if kind == "cosine":
+        if total_epochs is None:
+            raise ValueError("cosine schedule requires total_epochs")
+        return CosineAnnealingLR(optimizer, total_epochs=total_epochs, min_lr=min_lr)
+    raise ValueError(f"unknown LR schedule {kind!r}")

@@ -1,0 +1,11 @@
+"""Serving layer: batched, cached forecasting on top of fitted models.
+
+The first brick of the production-scale system the ROADMAP aims at:
+:class:`ForecastService` owns a fitted :class:`~repro.interfaces.Forecaster`,
+coalesces many window-start requests into batched ``predict`` calls, and
+LRU-caches per-window results so repeated traffic never recomputes.
+"""
+
+from .service import ForecastHandle, ForecastService
+
+__all__ = ["ForecastHandle", "ForecastService"]

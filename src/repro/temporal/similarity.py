@@ -67,13 +67,11 @@ def temporal_adjacency(
     if n_obs > 1 and q_kk > 0:
         budget = min(q_kk, n_obs - 1)
         masked = observed_distances + np.diag(np.full(n_obs, np.inf))
-        nearest = np.argsort(masked, axis=1)[:, :budget]
-        for local_i, partners in enumerate(nearest):
-            gi = observed_index[local_i]
-            for local_j in partners:
-                gj = observed_index[int(local_j)]
-                adjacency[gi, gj] = 1.0
-                adjacency[gj, gi] = 1.0
+        nearest = np.argsort(masked, axis=1)[:, :budget]  # (n_obs, budget)
+        rows = np.repeat(observed_index, budget)
+        cols = observed_index[nearest.ravel()]
+        adjacency[rows, cols] = 1.0
+        adjacency[cols, rows] = 1.0
     if cross_distances is not None and target_index is not None and len(target_index) and q_ku > 0:
         target_index = np.asarray(target_index, dtype=int)
         if cross_distances.shape != (n_obs, len(target_index)):
@@ -82,14 +80,13 @@ def temporal_adjacency(
                 f"({n_obs}, {len(target_index)})"
             )
         budget = min(q_ku, n_obs)
-        nearest = np.argsort(cross_distances, axis=0)[:budget, :]
-        for col, tgt in enumerate(target_index):
-            for local_i in nearest[:, col]:
-                gi = observed_index[int(local_i)]
-                # One-way edge: the target row aggregates from the observed
-                # column; the reverse entry stays 0 so observed embeddings
-                # are never polluted by pseudo-observations.
-                adjacency[tgt, gi] = 1.0
+        nearest = np.argsort(cross_distances, axis=0)[:budget, :]  # (budget, n_t)
+        # One-way edges: target rows aggregate from their top observed
+        # columns; the reverse entries stay 0 so observed embeddings are
+        # never polluted by pseudo-observations.
+        rows = np.broadcast_to(target_index, nearest.shape).ravel()
+        cols = observed_index[nearest.ravel()]
+        adjacency[rows, cols] = 1.0
     return adjacency
 
 
@@ -103,6 +100,7 @@ def build_dtw_adjacency(
     q_ku: int = 1,
     band: int | None = None,
     resolution: int | None = 24,
+    distance_fn=None,
 ) -> np.ndarray:
     """End-to-end DTW adjacency from an observation matrix.
 
@@ -111,17 +109,26 @@ def build_dtw_adjacency(
     observations with noises").  Series are reduced to mean daily profiles
     before the quadratic DTW step, and optionally downsampled to
     ``resolution`` points to bound the pairwise cost on 5-minute datasets.
+
+    ``distance_fn`` swaps the pairwise DTW implementation; it must accept
+    ``(series, others=None, band=None)`` like :func:`dtw_distance_matrix`.
+    The training engine passes a
+    :meth:`repro.engine.PairwiseDTWCache.distance_matrix` bound method here
+    so per-epoch adjacency rebuilds skip the pairs whose profiles did not
+    change under the fresh mask.
     """
+    if distance_fn is None:
+        distance_fn = dtw_distance_matrix
     observed_index = np.asarray(observed_index, dtype=int)
     profiles = daily_profile(values, steps_per_day)  # (num_nodes, T_d)
     if resolution is not None:
         profiles = downsample_profile(profiles, resolution)
     obs_profiles = profiles[observed_index]
-    observed_distances = dtw_distance_matrix(obs_profiles, band=band)
+    observed_distances = distance_fn(obs_profiles, band=band)
     cross = None
     if target_index is not None and len(target_index):
         target_profiles = profiles[np.asarray(target_index, dtype=int)]
-        cross = dtw_distance_matrix(obs_profiles, target_profiles, band=band)
+        cross = distance_fn(obs_profiles, target_profiles, band=band)
     return temporal_adjacency(
         observed_distances,
         cross,

@@ -1,0 +1,135 @@
+"""Engine caches: LRU semantics, content keys, bit-exact DTW memoisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import LRUCache, PairwiseDTWCache, array_key
+from repro.temporal.dtw import dtw_distance_matrix
+
+
+class TestArrayKey:
+    def test_equal_content_equal_key(self):
+        a = np.arange(6, dtype=float)
+        b = np.arange(6, dtype=float)
+        assert array_key(a) == array_key(b)
+
+    def test_different_content_different_key(self):
+        assert array_key(np.arange(6)) != array_key(np.arange(1, 7))
+
+    def test_dtype_and_shape_matter(self):
+        a = np.arange(6, dtype=np.int64)
+        assert array_key(a) != array_key(a.astype(float))
+        assert array_key(a) != array_key(a.reshape(2, 3))
+
+    def test_non_contiguous_normalised(self):
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        assert array_key(a[:, ::2]) == array_key(a[:, ::2].copy())
+
+    def test_scalar_parts(self):
+        assert array_key(np.arange(3), 5) != array_key(np.arange(3), 6)
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_get_or_compute(self):
+        cache = LRUCache(maxsize=2)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or 7)
+        assert value == 7
+        assert len(calls) == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_clear(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats == {"hits": 0, "misses": 0, "size": 0}
+
+
+class TestPairwiseDTWCache:
+    def _profiles(self, n=6, t=16, seed=0):
+        return np.random.default_rng(seed).normal(size=(n, t))
+
+    def test_self_matrix_matches_uncached(self):
+        profiles = self._profiles()
+        cache = PairwiseDTWCache()
+        assert np.array_equal(
+            cache.distance_matrix(profiles), dtw_distance_matrix(profiles)
+        )
+
+    def test_cross_matrix_matches_uncached(self):
+        obs = self._profiles(5, 16, seed=1)
+        tgt = self._profiles(3, 16, seed=2)
+        cache = PairwiseDTWCache()
+        assert np.array_equal(
+            cache.distance_matrix(obs, tgt), dtw_distance_matrix(obs, tgt)
+        )
+
+    def test_band_matches_uncached(self):
+        profiles = self._profiles()
+        cache = PairwiseDTWCache()
+        assert np.array_equal(
+            cache.distance_matrix(profiles, band=4),
+            dtw_distance_matrix(profiles, band=4),
+        )
+
+    def test_band_is_part_of_the_key(self):
+        profiles = self._profiles()
+        cache = PairwiseDTWCache()
+        wide = cache.distance_matrix(profiles)
+        narrow = cache.distance_matrix(profiles, band=2)
+        assert np.array_equal(wide, dtw_distance_matrix(profiles))
+        assert np.array_equal(narrow, dtw_distance_matrix(profiles, band=2))
+
+    def test_unchanged_pairs_hit_cache(self):
+        profiles = self._profiles(n=8)
+        cache = PairwiseDTWCache()
+        cache.distance_matrix(profiles)
+        assert cache.stats["hits"] == 0
+        # Perturb two rows: only pairs touching them should recompute.
+        perturbed = profiles.copy()
+        perturbed[0] += 1.0
+        perturbed[3] -= 1.0
+        before_misses = cache.stats["misses"]
+        out = cache.distance_matrix(perturbed)
+        unchanged_pairs = 6 * 5 // 2  # pairs among the 6 untouched rows
+        assert cache.stats["hits"] == unchanged_pairs
+        assert cache.stats["misses"] - before_misses == 8 * 7 // 2 - unchanged_pairs
+        assert np.array_equal(out, dtw_distance_matrix(perturbed))
+
+    def test_symmetric_pair_sharing(self):
+        # Cross distances reuse entries regardless of argument order.
+        obs = self._profiles(4, 16, seed=3)
+        tgt = self._profiles(2, 16, seed=4)
+        cache = PairwiseDTWCache()
+        first = cache.distance_matrix(obs, tgt)
+        flipped = cache.distance_matrix(tgt, obs)
+        assert np.array_equal(first, flipped.T)
+        assert cache.stats["hits"] == first.size
+
+    def test_single_series_is_zero(self):
+        cache = PairwiseDTWCache()
+        assert np.array_equal(cache.distance_matrix(np.ones((1, 8))), np.zeros((1, 1)))

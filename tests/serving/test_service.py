@@ -1,0 +1,184 @@
+"""ForecastService: batching, caching, and bitwise parity with predict."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GEGANForecaster, HistoricalAverageForecaster, IGNNKForecaster
+from repro.core import STSMConfig, STSMForecaster
+from repro.data import WindowSpec, space_split, temporal_split
+from repro.data.synthetic import make_pems_bay
+from repro.evaluation import evaluate_forecaster, forecast_window_starts
+from repro.interfaces import FitReport, Forecaster
+from repro.serving import ForecastService
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = make_pems_bay(num_sensors=18, num_days=3, seed=23)
+    split = space_split(dataset.coords, "horizontal")
+    spec = WindowSpec(input_length=6, horizon=6)
+    train_ix, _ = temporal_split(dataset.num_steps)
+    starts = forecast_window_starts(dataset, spec, max_windows=8)
+    return dataset, split, spec, train_ix, starts
+
+
+@pytest.fixture(scope="module")
+def fitted_stsm(setting):
+    dataset, split, spec, train_ix, _starts = setting
+    cfg = STSMConfig(
+        hidden_dim=8, num_blocks=1, tcn_levels=2, gcn_depth=1,
+        epochs=2, patience=2, batch_size=8, window_stride=8, top_k=5,
+    )
+    model = STSMForecaster(cfg)
+    model.fit(dataset, split, spec, train_ix)
+    return model
+
+
+class _CountingForecaster(Forecaster):
+    """Deterministic toy model that records every predict() batch."""
+
+    name = "counting"
+
+    def __init__(self, horizon: int = 4, num_unobserved: int = 3) -> None:
+        self.horizon = horizon
+        self.num_unobserved = num_unobserved
+        self.calls: list[np.ndarray] = []
+
+    def fit(self, dataset, split, spec, train_steps) -> FitReport:
+        return FitReport()
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        window_starts = np.asarray(window_starts, dtype=int)
+        self.calls.append(window_starts.copy())
+        grid = np.arange(self.horizon)[:, None] + np.arange(self.num_unobserved)[None, :]
+        return window_starts[:, None, None] * 1000.0 + grid[None]
+
+
+class TestBitwiseParity:
+    def test_service_equals_direct_predict_stsm(self, fitted_stsm, setting):
+        *_rest, starts = setting
+        service = ForecastService(fitted_stsm)
+        batched = service.forecast(starts)
+        # Zero added drift: a cold-cache forecast over unique sorted
+        # starts is bitwise the model's own batched predict call.
+        assert np.array_equal(batched, fitted_stsm.predict(starts))
+        # Cached repeats stay bitwise stable forever.
+        assert np.array_equal(service.forecast(starts[::-1]), batched[::-1])
+        # Per-window calls agree to the last ulp of the conv einsum's
+        # batch-size-dependent BLAS path (a property of STSM's predict
+        # itself, not of the service).
+        sequential = np.concatenate(
+            [fitted_stsm.predict(np.array([s])) for s in starts], axis=0
+        )
+        np.testing.assert_allclose(batched, sequential, rtol=0, atol=1e-12)
+
+    def test_batched_equals_per_window_ignnk(self, setting):
+        dataset, split, spec, train_ix, starts = setting
+        model = IGNNKForecaster(iterations=5, hidden=8)
+        model.fit(dataset, split, spec, train_ix)
+        service = ForecastService(model)
+        batched = service.forecast(starts)
+        sequential = np.concatenate(
+            [model.predict(np.array([s])) for s in starts], axis=0
+        )
+        assert np.array_equal(batched, sequential)
+
+    def test_stateful_gegan_served_per_window(self, setting):
+        dataset, split, spec, train_ix, starts = setting
+        model = GEGANForecaster(iterations=5, hidden=16)
+        model.fit(dataset, split, spec, train_ix)
+        service = ForecastService(model)
+        assert service.stateless_predict is False
+        batched = service.forecast(starts)
+        sequential = np.concatenate(
+            [model.predict(np.array([s])) for s in starts], axis=0
+        )
+        assert np.array_equal(batched, sequential)
+        # One predict call per distinct window, not one big batch.
+        assert service.predict_calls == len(starts)
+
+
+class TestCoalescingAndCaching:
+    def test_duplicates_coalesce_into_one_call(self):
+        model = _CountingForecaster()
+        service = ForecastService(model)
+        starts = np.array([5, 3, 5, 3, 9, 5])
+        out = service.forecast(starts)
+        assert out.shape == (6, model.horizon, model.num_unobserved)
+        assert len(model.calls) == 1
+        assert model.calls[0].tolist() == [3, 5, 9]  # deduped, sorted
+        # Request order preserved in the assembled output.
+        assert np.array_equal(out[0], out[2]) and np.array_equal(out[0], out[5])
+        assert out[0, 0, 0] == pytest.approx(5000.0)
+        assert out[1, 0, 0] == pytest.approx(3000.0)
+
+    def test_repeat_traffic_served_from_cache(self):
+        model = _CountingForecaster()
+        service = ForecastService(model)
+        first = service.forecast(np.array([1, 2, 3]))
+        second = service.forecast(np.array([3, 2, 1]))
+        assert len(model.calls) == 1
+        assert np.array_equal(first[::-1], second)
+        assert service.stats["windows_computed"] == 3
+        assert service.stats["requests"] == 6
+
+    def test_max_batch_size_chunks(self):
+        model = _CountingForecaster()
+        service = ForecastService(model, max_batch_size=4)
+        service.forecast(np.arange(10))
+        assert [len(call) for call in model.calls] == [4, 4, 2]
+
+    def test_submit_flush_handles(self):
+        model = _CountingForecaster()
+        service = ForecastService(model)
+        handles = [service.submit(s) for s in (7, 11)]
+        assert not handles[0].ready
+        computed = service.flush()
+        assert computed == 2
+        assert handles[0].ready
+        assert handles[0].result()[0, 0] == pytest.approx(7000.0)
+        assert handles[1].result()[0, 0] == pytest.approx(11000.0)
+
+    def test_handle_result_triggers_flush(self):
+        model = _CountingForecaster()
+        service = ForecastService(model)
+        handle = service.submit(4)
+        assert handle.result()[0, 0] == pytest.approx(4000.0)
+        assert len(model.calls) == 1
+
+    def test_tiny_cache_still_correct(self):
+        model = _CountingForecaster()
+        service = ForecastService(model, cache_size=2)
+        out = service.forecast(np.arange(6))
+        expected = model.predict(np.arange(6))
+        assert np.array_equal(out, expected)
+
+    def test_empty_request_rejected(self):
+        service = ForecastService(_CountingForecaster())
+        with pytest.raises(ValueError):
+            service.forecast(np.array([], dtype=int))
+
+    def test_unfitted_forecaster_rejected(self):
+        model = IGNNKForecaster()
+        with pytest.raises(RuntimeError):
+            ForecastService(model)
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            ForecastService(_CountingForecaster(), max_batch_size=0)
+
+
+class TestEvaluatorIntegration:
+    def test_use_service_matches_direct_metrics(self, setting):
+        dataset, split, spec, _train_ix, _starts = setting
+        direct = evaluate_forecaster(
+            HistoricalAverageForecaster(), dataset, split, spec, max_test_windows=6
+        )
+        served = evaluate_forecaster(
+            HistoricalAverageForecaster(), dataset, split, spec,
+            max_test_windows=6, use_service=True,
+        )
+        assert served.metrics.rmse == pytest.approx(direct.metrics.rmse)
+        assert served.extra["service"]["windows_computed"] == served.num_windows
