@@ -3,6 +3,12 @@
 Used throughout the test suite to certify that every autograd op's backward
 pass matches a central-difference numerical derivative.  This is the
 correctness anchor for the whole neural substrate.
+
+Both helpers take an optional ``backend`` (registry name or
+:class:`~repro.backend.ArrayBackend` instance): the function evaluations
+*and* the autograd replay run under that backend, so the same check
+certifies every registered backend — the parity suite runs it against
+``numpy_ref`` and ``numpy_fused`` alike.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..backend import ArrayBackend, use_backend
 from .tensor import Tensor
 
 __all__ = ["numerical_gradient", "check_gradients"]
@@ -21,20 +28,22 @@ def numerical_gradient(
     inputs: Sequence[Tensor],
     wrt: int,
     eps: float = 1e-6,
+    backend: str | ArrayBackend | None = None,
 ) -> np.ndarray:
     """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. input ``wrt``."""
     target = inputs[wrt]
     grad = np.zeros_like(target.data)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        upper = float(fn(*inputs).data.sum())
-        flat[i] = original - eps
-        lower = float(fn(*inputs).data.sum())
-        flat[i] = original
-        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    with use_backend(backend):
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            upper = float(fn(*inputs).data.sum())
+            flat[i] = original - eps
+            lower = float(fn(*inputs).data.sum())
+            flat[i] = original
+            grad_flat[i] = (upper - lower) / (2.0 * eps)
     return grad
 
 
@@ -44,6 +53,7 @@ def check_gradients(
     atol: float = 1e-5,
     rtol: float = 1e-4,
     eps: float = 1e-6,
+    backend: str | ArrayBackend | None = None,
 ) -> None:
     """Assert that autograd gradients match numerical ones for all inputs.
 
@@ -51,16 +61,19 @@ def check_gradients(
     """
     for tensor in inputs:
         tensor.zero_grad()
-    out = fn(*inputs)
-    out.sum().backward()
+    with use_backend(backend):
+        out = fn(*inputs)
+        out.sum().backward()
     for index, tensor in enumerate(inputs):
         if not tensor.requires_grad:
             continue
-        expected = numerical_gradient(fn, inputs, index, eps=eps)
+        expected = numerical_gradient(fn, inputs, index, eps=eps, backend=backend)
         actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
         if not np.allclose(actual, expected, atol=atol, rtol=rtol):
             worst = np.abs(actual - expected).max()
             raise AssertionError(
-                f"gradient mismatch for input {index}: max abs diff {worst:.3e}\n"
+                f"gradient mismatch for input {index} under backend "
+                f"{backend if isinstance(backend, str) else getattr(backend, 'name', 'active')}: "
+                f"max abs diff {worst:.3e}\n"
                 f"autograd:\n{actual}\nnumerical:\n{expected}"
             )

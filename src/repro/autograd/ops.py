@@ -4,15 +4,22 @@ These complement the methods on ``Tensor`` with multi-input ops
 (concatenate, stack, where, elementwise max), stabilised softmax variants,
 dropout, embedding lookup, and the dilated 1-D convolution used by the
 paper's temporal module (Eq. 5).
+
+All array math routes through the active
+:class:`~repro.backend.ArrayBackend`; numpy appears only for host-side
+bookkeeping (index arithmetic, shape accounting).
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 from typing import Sequence
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, is_grad_enabled
+from ..backend import get_backend
+from .tensor import Tensor, _unbroadcast, as_tensor
 
 __all__ = [
     "concatenate",
@@ -37,11 +44,12 @@ __all__ = [
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` (adjoint: split the gradient)."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    b = get_backend()
+    out_data = b.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    offsets = list(itertools.accumulate([0] + sizes))
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
             index = [slice(None)] * grad.ndim
             index[axis] = slice(start, stop)
@@ -53,12 +61,13 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis``."""
     tensors = [as_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
+    b = get_backend()
+    out_data = b.stack([t.data for t in tensors], axis=axis)
 
-    def backward(grad: np.ndarray) -> None:
-        slabs = np.split(grad, len(tensors), axis=axis)
+    def backward(grad) -> None:
+        slabs = b.split(grad, len(tensors), axis=axis)
         for tensor, slab in zip(tensors, slabs):
-            tensor._accumulate(np.squeeze(slab, axis=axis))
+            tensor._accumulate(b.squeeze(slab, axis=axis))
 
     return Tensor._make(out_data, tuple(tensors), backward)
 
@@ -66,28 +75,30 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 def pad(tensor: Tensor, pad_width, constant: float = 0.0) -> Tensor:
     """Zero (or constant) padding; the adjoint slices the gradient back."""
     tensor = as_tensor(tensor)
-    out_data = np.pad(tensor.data, pad_width, constant_values=constant)
+    b = get_backend()
+    out_data = b.pad(tensor.data, pad_width, constant=constant)
     slices = tuple(
         slice(before, before + n) for (before, _after), n in zip(pad_width, tensor.shape)
     )
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         tensor._accumulate(grad[slices])
 
     return Tensor._make(out_data, (tensor,), backward)
 
 
-def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select; ``condition`` is a constant boolean array."""
     a, b = as_tensor(a), as_tensor(b)
-    cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
+    backend = get_backend()
+    cond = backend.asarray(condition, dtype=bool)
+    out_data = backend.where(cond, a.data, b.data)
 
-    def backward(grad: np.ndarray) -> None:
-        from .tensor import _unbroadcast
-
-        a._accumulate(_unbroadcast(grad * cond, a.shape))
-        b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+    def backward(grad) -> None:
+        a._accumulate(_unbroadcast(backend.multiply(grad, cond), a.shape), owned=True)
+        b._accumulate(
+            _unbroadcast(backend.multiply(grad, backend.logical_not(cond)), b.shape), owned=True
+        )
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -95,16 +106,15 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise max of two tensors; ties split the gradient equally."""
     a, b = as_tensor(a), as_tensor(b)
-    out_data = np.maximum(a.data, b.data)
+    backend = get_backend()
+    out_data = backend.maximum(a.data, b.data)
 
-    def backward(grad: np.ndarray) -> None:
-        from .tensor import _unbroadcast
-
-        a_wins = (a.data > b.data).astype(grad.dtype)
-        b_wins = (b.data > a.data).astype(grad.dtype)
-        tie = (a.data == b.data).astype(grad.dtype) * 0.5
-        a._accumulate(_unbroadcast(grad * (a_wins + tie), a.shape))
-        b._accumulate(_unbroadcast(grad * (b_wins + tie), b.shape))
+    def backward(grad) -> None:
+        grad_a, grad_b = backend.maximum_backward(
+            grad, a.data, b.data, a.shape, b.shape, _unbroadcast
+        )
+        a._accumulate(grad_a, owned=True)
+        b._accumulate(grad_b, owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 
@@ -117,13 +127,11 @@ def minimum(a: Tensor, b: Tensor) -> Tensor:
 def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stabilised softmax along ``axis``."""
     tensor = as_tensor(tensor)
-    shifted = tensor.data - tensor.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    b = get_backend()
+    out_data = b.softmax(tensor.data, axis=axis)
 
-    def backward(grad: np.ndarray) -> None:
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        tensor._accumulate(out_data * (grad - dot))
+    def backward(grad) -> None:
+        tensor._accumulate(b.softmax_backward(grad, out_data, axis=axis), owned=True)
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -131,18 +139,16 @@ def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stabilised log-softmax along ``axis``."""
     tensor = as_tensor(tensor)
-    shifted = tensor.data - tensor.data.max(axis=axis, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_norm
-    soft = np.exp(out_data)
+    b = get_backend()
+    out_data, soft = b.log_softmax(tensor.data, axis=axis)
 
-    def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+    def backward(grad) -> None:
+        tensor._accumulate(b.log_softmax_backward(grad, soft, axis=axis), owned=True)
 
     return Tensor._make(out_data, (tensor,), backward)
 
 
-def dropout(tensor: Tensor, rate: float, training: bool, rng: np.random.Generator) -> Tensor:
+def dropout(tensor: Tensor, rate: float, training: bool, rng) -> Tensor:
     """Inverted dropout: scales kept units by ``1 / (1 - rate)`` at train time."""
     tensor = as_tensor(tensor)
     if not training or rate <= 0.0:
@@ -150,37 +156,43 @@ def dropout(tensor: Tensor, rate: float, training: bool, rng: np.random.Generato
     if rate >= 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    mask = (rng.random(tensor.shape) < keep).astype(tensor.dtype) / keep
-    out_data = tensor.data * mask
+    b = get_backend()
+    mask = b.dropout_mask(rng, tensor.shape, keep, tensor.dtype)
+    out_data = b.multiply(tensor.data, mask)
 
-    def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(grad * mask)
+    def backward(grad) -> None:
+        tensor._accumulate(b.multiply(grad, mask), owned=True)
 
     return Tensor._make(out_data, (tensor,), backward)
 
 
-def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+def embedding(table: Tensor, indices) -> Tensor:
     """Row lookup ``table[indices]`` with scatter-add adjoint."""
     table = as_tensor(table)
+    b = get_backend()
     idx = np.asarray(indices, dtype=np.int64)
-    out_data = table.data[idx]
+    out_data = b.getitem(table.data, idx)
 
-    def backward(grad: np.ndarray) -> None:
-        full = np.zeros_like(table.data)
-        np.add.at(full, idx, grad)
-        table._accumulate(full)
+    def backward(grad) -> None:
+        full = b.zeros_like(table.data)
+        b.scatter_add(full, idx, grad)
+        table._accumulate(full, owned=True)
 
-    return Tensor._make(np.array(out_data, copy=True), (table,), backward)
+    return Tensor._make(b.copy(out_data), (table,), backward)
 
 
 def clip_values(tensor: Tensor, low: float, high: float) -> Tensor:
     """Clamp values; the gradient passes only through the unclipped region."""
     tensor = as_tensor(tensor)
-    out_data = np.clip(tensor.data, low, high)
-    mask = ((tensor.data >= low) & (tensor.data <= high)).astype(tensor.dtype)
+    b = get_backend()
+    out_data = b.clip(tensor.data, low, high)
+    mask = b.cast(
+        b.logical_and(b.greater_equal(tensor.data, low), b.less_equal(tensor.data, high)),
+        tensor.dtype,
+    )
 
-    def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(grad * mask)
+    def backward(grad) -> None:
+        tensor._accumulate(b.multiply(grad, mask), owned=True)
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -188,11 +200,12 @@ def clip_values(tensor: Tensor, low: float, high: float) -> Tensor:
 def leaky_relu(tensor: Tensor, negative_slope: float = 0.2) -> Tensor:
     """``x`` for positive inputs, ``slope * x`` otherwise (GAT's default 0.2)."""
     tensor = as_tensor(tensor)
-    positive = tensor.data > 0
-    out_data = np.where(positive, tensor.data, negative_slope * tensor.data)
+    b = get_backend()
+    positive = b.greater(tensor.data, 0)
+    out_data = b.where(positive, tensor.data, b.multiply(negative_slope, tensor.data))
 
-    def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(grad * np.where(positive, 1.0, negative_slope))
+    def backward(grad) -> None:
+        tensor._accumulate(b.multiply(grad, b.where(positive, 1.0, negative_slope)), owned=True)
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -200,12 +213,15 @@ def leaky_relu(tensor: Tensor, negative_slope: float = 0.2) -> Tensor:
 def elu(tensor: Tensor, alpha: float = 1.0) -> Tensor:
     """Exponential linear unit: ``x`` if positive else ``α (eˣ − 1)``."""
     tensor = as_tensor(tensor)
-    positive = tensor.data > 0
-    exp_term = alpha * (np.exp(np.minimum(tensor.data, 0.0)) - 1.0)
-    out_data = np.where(positive, tensor.data, exp_term)
+    b = get_backend()
+    positive = b.greater(tensor.data, 0)
+    exp_term = b.multiply(alpha, b.subtract(b.exp(b.minimum(tensor.data, 0.0)), 1.0))
+    out_data = b.where(positive, tensor.data, exp_term)
 
-    def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(grad * np.where(positive, 1.0, exp_term + alpha))
+    def backward(grad) -> None:
+        tensor._accumulate(
+            b.multiply(grad, b.where(positive, 1.0, b.add(exp_term, alpha))), owned=True
+        )
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -213,17 +229,21 @@ def elu(tensor: Tensor, alpha: float = 1.0) -> Tensor:
 def gelu(tensor: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation)."""
     tensor = as_tensor(tensor)
+    b = get_backend()
     x = tensor.data
-    c = np.sqrt(2.0 / np.pi)
-    inner = c * (x + 0.044715 * x ** 3)
-    tanh_inner = np.tanh(inner)
-    out_data = 0.5 * x * (1.0 + tanh_inner)
+    c = math.sqrt(2.0 / math.pi)
+    inner = b.multiply(c, b.add(x, b.multiply(0.044715, b.power(x, 3))))
+    tanh_inner = b.tanh(inner)
+    out_data = b.multiply(b.multiply(0.5, x), b.add(1.0, tanh_inner))
 
-    def backward(grad: np.ndarray) -> None:
-        sech2 = 1.0 - tanh_inner ** 2
-        d_inner = c * (1.0 + 3.0 * 0.044715 * x ** 2)
-        local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
-        tensor._accumulate(grad * local)
+    def backward(grad) -> None:
+        sech2 = b.subtract(1.0, b.power(tanh_inner, 2))
+        d_inner = b.multiply(c, b.add(1.0, b.multiply(3.0 * 0.044715, b.power(x, 2))))
+        local = b.add(
+            b.multiply(0.5, b.add(1.0, tanh_inner)),
+            b.multiply(b.multiply(b.multiply(0.5, x), sech2), d_inner),
+        )
+        tensor._accumulate(b.multiply(grad, local), owned=True)
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -233,15 +253,22 @@ def softplus(tensor: Tensor, beta: float = 1.0) -> Tensor:
     if beta <= 0:
         raise ValueError(f"beta must be positive, got {beta}")
     tensor = as_tensor(tensor)
-    scaled = beta * tensor.data
+    b = get_backend()
+    scaled = b.multiply(beta, tensor.data)
     # log1p(exp(s)) = max(s, 0) + log1p(exp(-|s|)) avoids overflow; the
     # sigmoid below uses the same trick for its exp.
-    out_data = (np.maximum(scaled, 0.0) + np.log1p(np.exp(-np.abs(scaled)))) / beta
-    exp_neg = np.exp(-np.abs(scaled))
-    sig = np.where(scaled >= 0, 1.0 / (1.0 + exp_neg), exp_neg / (1.0 + exp_neg))
+    out_data = b.divide(
+        b.add(b.maximum(scaled, 0.0), b.log1p(b.exp(b.negative(b.abs(scaled))))), beta
+    )
+    exp_neg = b.exp(b.negative(b.abs(scaled)))
+    sig = b.where(
+        b.greater_equal(scaled, 0),
+        b.divide(1.0, b.add(1.0, exp_neg)),
+        b.divide(exp_neg, b.add(1.0, exp_neg)),
+    )
 
-    def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(grad * sig)
+    def backward(grad) -> None:
+        tensor._accumulate(b.multiply(grad, sig), owned=True)
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -291,28 +318,26 @@ def conv1d(
             f"(length={length}, kernel={kernel}, dilation={dilation}, padding={padding})"
         )
 
-    padded = np.pad(inputs.data, ((0, 0), (0, 0), (padding, padding))) if padding else inputs.data
-    # Gather taps: cols[b, c, k, t] = padded[b, c, t + k * dilation]
-    tap_index = np.arange(out_len)[None, :] + dilation * np.arange(kernel)[:, None]
-    cols = padded[:, :, tap_index]  # (batch, c_in, kernel, out_len)
+    b = get_backend()
+    padded = (
+        b.pad(inputs.data, ((0, 0), (0, 0), (padding, padding))) if padding else inputs.data
+    )
     w = weight.data  # (c_out, c_in, kernel)
-    out_data = np.einsum("bckt,ock->bot", cols, w, optimize=True)
+    out_data, saved = b.conv1d_apply(padded, w, dilation, out_len)
     if bias is not None:
-        out_data = out_data + bias.data[None, :, None]
+        out_data = b.add(out_data, bias.data[None, :, None])
 
     parents: tuple[Tensor, ...] = (inputs, weight) if bias is None else (inputs, weight, bias)
 
-    def backward(grad: np.ndarray) -> None:
+    def backward(grad) -> None:
         # grad: (batch, c_out, out_len)
-        grad_w = np.einsum("bot,bckt->ock", grad, cols, optimize=True)
-        weight._accumulate(grad_w)
+        grad_w, grad_padded = b.conv1d_backward(grad, saved, padded, w, dilation)
+        weight._accumulate(grad_w, owned=True)
         if bias is not None:
-            bias._accumulate(grad.sum(axis=(0, 2)))
-        grad_cols = np.einsum("bot,ock->bckt", grad, w, optimize=True)
-        grad_padded = np.zeros_like(padded)
-        np.add.at(grad_padded, (slice(None), slice(None), tap_index), grad_cols)
+            bias._accumulate(b.sum(grad, axis=(0, 2)), owned=True)
         if padding:
+            # Still exclusively ours: a view into the fresh padded buffer.
             grad_padded = grad_padded[:, :, padding:-padding]
-        inputs._accumulate(grad_padded)
+        inputs._accumulate(grad_padded, owned=True)
 
     return Tensor._make(out_data, parents, backward)

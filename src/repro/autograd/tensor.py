@@ -1,28 +1,43 @@
 """Core reverse-mode automatic differentiation tensor.
 
-This module provides :class:`Tensor`, a thin wrapper around a numpy array
-that records the operations applied to it on a tape and can replay them
+This module provides :class:`Tensor`, a thin wrapper around an array that
+records the operations applied to it on a tape and can replay them
 backwards to accumulate gradients.  It is the substrate on which every
 neural module in this repository is built (the paper's reference
 implementation uses PyTorch; see DESIGN.md for the substitution rationale).
 
+Every array operation is issued through the active
+:class:`~repro.backend.ArrayBackend` (``repro.backend.get_backend()``),
+never through numpy directly, so the whole autograd stack dispatches to
+whichever backend is selected (``numpy_ref`` reproduces the historical
+bit-exact numbers; ``numpy_fused`` trades bit-identity for speed).
+
 Design notes
 ------------
-* Gradients are dense numpy arrays of the same shape as ``data``.
+* Gradients are dense arrays of the same shape as ``data``.
 * Broadcasting follows numpy semantics; backward passes "unbroadcast" by
   summing gradients over the broadcast axes.
 * The graph is a DAG of ``Tensor`` nodes.  ``backward`` runs a topological
   sort and calls each node's local backward closure exactly once.
 * A module-level flag (:func:`no_grad`) disables taping, which makes
   inference allocation-free apart from the forward arrays.
+* Most backward closures capture the backend active at forward time,
+  but gradient accumulation, unbroadcasting and the seed gradient
+  resolve the backend live — a taped graph must therefore be replayed
+  under the backend (or a value-compatible backend) that built it.
+  Both shipped numpy backends are mutually compatible; a device
+  backend's graphs must run backward under the same backend.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Sequence
+import math
+from typing import Callable, Sequence
 
 import numpy as np
+
+from ..backend import get_backend
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
@@ -46,33 +61,34 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting.
+def _unbroadcast(grad, shape: tuple[int, ...]):
+    """Sum ``grad`` down to ``shape`` to undo broadcasting.
 
-    numpy broadcasting may prepend axes and/or stretch length-1 axes.  The
+    Broadcasting may prepend axes and/or stretch length-1 axes.  The
     adjoint of broadcasting is summation over the broadcast axes.
     """
     if grad.shape == shape:
         return grad
+    b = get_backend()
     # Sum over prepended axes.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = b.sum(grad, axis=tuple(range(extra)))
     # Sum over stretched axes.
     axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
-    return grad.reshape(shape)
+        grad = b.sum(grad, axis=axes, keepdims=True)
+    return b.reshape(grad, shape)
 
 
 class Tensor:
-    """A numpy-backed tensor with reverse-mode autodiff support.
+    """A backend-array tensor with reverse-mode autodiff support.
 
     Parameters
     ----------
     data:
         Array-like value.  Stored as ``float64`` unless already a float
-        numpy array (``float32`` is preserved).
+        array (``float32`` is preserved).
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` during
         :meth:`backward`.
@@ -85,16 +101,13 @@ class Tensor:
         data,
         requires_grad: bool = False,
         _parents: Sequence["Tensor"] = (),
-        _backward: Callable[[np.ndarray], None] | None = None,
+        _backward: Callable | None = None,
         name: str | None = None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        arr = np.asarray(data)
-        if arr.dtype not in (np.float32, np.float64):
-            arr = arr.astype(np.float64)
-        self.data: np.ndarray = arr
-        self.grad: np.ndarray | None = None
+        self.data = get_backend().to_float_array(data)
+        self.grad = None
         self.requires_grad = bool(requires_grad)
         self._parents: tuple[Tensor, ...] = tuple(_parents)
         self._backward = _backward
@@ -128,15 +141,17 @@ class Tensor:
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
-        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+        rendered = np.array2string(get_backend().to_numpy(self.data), precision=4, threshold=8)
+        return f"Tensor({rendered}{grad_flag})"
 
-    def numpy(self) -> np.ndarray:
-        """Return the underlying numpy array (no copy)."""
-        return self.data
+    def numpy(self):
+        """Return the underlying array as numpy (no copy when host-side)."""
+        return get_backend().to_numpy(self.data)
 
     def item(self) -> float:
         """Return the value of a single-element tensor as a Python float."""
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self.data.item()
+        arr = get_backend().to_numpy(self.data)
+        return float(arr.reshape(-1)[0]) if arr.size == 1 else arr.item()
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the tape."""
@@ -155,9 +170,9 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(
-        data: np.ndarray,
+        data,
         parents: Sequence["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable,
     ) -> "Tensor":
         """Create a result node, taping it only when grad mode is on."""
         track = _GRAD_ENABLED and any(p.requires_grad for p in parents)
@@ -165,16 +180,28 @@ class Tensor:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this node's gradient buffer."""
+    def _accumulate(self, grad, owned: bool = False) -> None:
+        """Add ``grad`` into this node's gradient buffer.
+
+        ``owned=True`` asserts the caller passes a freshly allocated
+        array that nothing else references (the adjoint it just
+        computed), so the first accumulation can adopt it instead of
+        paying a defensive copy.  Callers forwarding *shared* arrays —
+        the incoming ``grad`` itself, or a view of it — must leave
+        ``owned`` False.
+        """
         if not self.requires_grad:
             return
+        b = get_backend()
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            if owned and grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                self.grad = b.copy_cast(grad, self.data.dtype)
         else:
-            self.grad += grad
+            b.iadd(self.grad, grad)
 
-    def backward(self, grad: np.ndarray | float | None = None) -> None:
+    def backward(self, grad=None) -> None:
         """Run reverse-mode autodiff from this node.
 
         Parameters
@@ -185,13 +212,14 @@ class Tensor:
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
+        b = get_backend()
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("backward() on a non-scalar tensor requires an explicit gradient")
-            grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            grad = b.ones_like(self.data)
+        grad = b.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
+            grad = b.cast(b.broadcast_to(grad, self.data.shape), self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -219,29 +247,34 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data + other.data
+        out_data = get_backend().add(self.data, other.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(grad, other.shape))
+        def backward(grad) -> None:
+            for tensor in (self, other):
+                reduced = _unbroadcast(grad, tensor.shape)
+                tensor._accumulate(reduced, owned=reduced is not grad)
 
         return Tensor._make(out_data, (self, other), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+        b = get_backend()
 
-        return Tensor._make(-self.data, (self,), backward)
+        def backward(grad) -> None:
+            self._accumulate(b.negative(grad), owned=True)
+
+        return Tensor._make(b.negative(self.data), (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data - other.data
+        b = get_backend()
+        out_data = b.subtract(self.data, other.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(-grad, other.shape))
+        def backward(grad) -> None:
+            reduced = _unbroadcast(grad, self.shape)
+            self._accumulate(reduced, owned=reduced is not grad)
+            other._accumulate(_unbroadcast(b.negative(grad), other.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -250,11 +283,12 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data * other.data
+        b = get_backend()
+        out_data = b.multiply(self.data, other.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+        def backward(grad) -> None:
+            self._accumulate(_unbroadcast(b.multiply(grad, other.data), self.shape), owned=True)
+            other._accumulate(_unbroadcast(b.multiply(grad, self.data), other.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -262,11 +296,18 @@ class Tensor:
 
     def __truediv__(self, other) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data / other.data
+        b = get_backend()
+        out_data = b.divide(self.data, other.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            other._accumulate(_unbroadcast(-grad * self.data / (other.data ** 2), other.shape))
+        def backward(grad) -> None:
+            self._accumulate(_unbroadcast(b.divide(grad, other.data), self.shape), owned=True)
+            other._accumulate(
+                _unbroadcast(
+                    b.divide(b.multiply(b.negative(grad), self.data), b.power(other.data, 2)),
+                    other.shape,
+                ),
+                owned=True,
+            )
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -276,10 +317,14 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log composition")
-        out_data = self.data ** exponent
+        b = get_backend()
+        out_data = b.power(self.data, exponent)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+        def backward(grad) -> None:
+            self._accumulate(
+                b.multiply(b.multiply(grad, exponent), b.power(self.data, exponent - 1)),
+                owned=True,
+            )
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -288,32 +333,41 @@ class Tensor:
     # ------------------------------------------------------------------
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        b = get_backend()
+        out_data = b.matmul(self.data, other.data)
 
-        def backward(grad: np.ndarray) -> None:
-            a, b = self.data, other.data
-            if a.ndim == 1 and b.ndim == 1:
-                self._accumulate(grad * b)
-                other._accumulate(grad * a)
+        def backward(grad) -> None:
+            lhs, rhs = self.data, other.data
+            if lhs.ndim == 1 and rhs.ndim == 1:
+                self._accumulate(b.multiply(grad, rhs), owned=True)
+                other._accumulate(b.multiply(grad, lhs), owned=True)
                 return
-            if a.ndim == 1:
+            if lhs.ndim == 1:
                 # (k,) @ (..., k, n) -> (..., n)
-                grad_a = (grad[..., None, :] * np.swapaxes(b, -1, -2)).sum(axis=tuple(range(grad.ndim - 1)) + (-1,))
-                self._accumulate(_unbroadcast(grad_a.reshape(a.shape), a.shape))
-                other._accumulate(_unbroadcast(a[:, None] * grad[..., None, :], b.shape))
+                grad_a = b.sum(
+                    b.multiply(grad[..., None, :], b.swapaxes(rhs, -1, -2)),
+                    axis=tuple(range(grad.ndim - 1)) + (-1,),
+                )
+                self._accumulate(_unbroadcast(b.reshape(grad_a, lhs.shape), lhs.shape), owned=True)
+                other._accumulate(
+                    _unbroadcast(b.multiply(lhs[:, None], grad[..., None, :]), rhs.shape),
+                    owned=True,
+                )
                 return
-            if b.ndim == 1:
+            if rhs.ndim == 1:
                 # (..., m, k) @ (k,) -> (..., m)
-                self._accumulate(_unbroadcast(grad[..., :, None] * b, a.shape))
-                grad_b = (np.swapaxes(a, -1, -2) @ grad[..., :, None])[..., 0]
+                self._accumulate(
+                    _unbroadcast(b.multiply(grad[..., :, None], rhs), lhs.shape), owned=True
+                )
+                grad_b = b.matmul(b.swapaxes(lhs, -1, -2), grad[..., :, None])[..., 0]
                 if grad_b.ndim > 1:
-                    grad_b = grad_b.sum(axis=tuple(range(grad_b.ndim - 1)))
-                other._accumulate(grad_b)
+                    grad_b = b.sum(grad_b, axis=tuple(range(grad_b.ndim - 1)))
+                other._accumulate(grad_b, owned=True)
                 return
-            grad_a = grad @ np.swapaxes(b, -1, -2)
-            grad_b = np.swapaxes(a, -1, -2) @ grad
-            self._accumulate(_unbroadcast(grad_a, a.shape))
-            other._accumulate(_unbroadcast(grad_b, b.shape))
+            grad_a = b.matmul(grad, b.swapaxes(rhs, -1, -2))
+            grad_b = b.matmul(b.swapaxes(lhs, -1, -2), grad)
+            self._accumulate(_unbroadcast(grad_a, lhs.shape), owned=True)
+            other._accumulate(_unbroadcast(grad_b, rhs.shape), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -324,59 +378,65 @@ class Tensor:
     # Elementwise transcendental functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        b = get_backend()
+        out_data = b.exp(self.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
+        def backward(grad) -> None:
+            self._accumulate(b.multiply(grad, out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        b = get_backend()
+        out_data = b.log(self.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+        def backward(grad) -> None:
+            self._accumulate(b.divide(grad, self.data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
+        b = get_backend()
+        out_data = b.sqrt(self.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / out_data)
+        def backward(grad) -> None:
+            self._accumulate(b.divide(b.multiply(grad, 0.5), out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
+        b = get_backend()
+        out_data = b.abs(self.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
+        def backward(grad) -> None:
+            self._accumulate(b.multiply(grad, b.sign(self.data)), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
+        b = get_backend()
+        out_data, mask = b.relu(self.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+        def backward(grad) -> None:
+            self._accumulate(b.relu_backward(grad, mask), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        b = get_backend()
+        out_data = b.sigmoid(self.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data * (1.0 - out_data))
+        def backward(grad) -> None:
+            self._accumulate(b.sigmoid_backward(grad, out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        b = get_backend()
+        out_data = b.tanh(self.data)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data ** 2))
+        def backward(grad) -> None:
+            self._accumulate(b.tanh_backward(grad, out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -384,13 +444,14 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        b = get_backend()
+        out_data = b.sum(self.data, axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             g = grad
             if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis if isinstance(axis, tuple) else (axis,))
-            self._accumulate(np.broadcast_to(g, self.shape).astype(self.data.dtype))
+                g = b.expand_dims(g, axis=axis if isinstance(axis, tuple) else (axis,))
+            self._accumulate(b.cast(b.broadcast_to(g, self.shape), self.data.dtype), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -398,26 +459,29 @@ class Tensor:
         if axis is None:
             count = self.data.size
         elif isinstance(axis, tuple):
-            count = int(np.prod([self.shape[a] for a in axis]))
+            count = int(math.prod(self.shape[a] for a in axis))
         else:
             count = self.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def _minmax(self, axis, keepdims: bool, mode: str) -> "Tensor":
-        reducer = np.max if mode == "max" else np.min
+        b = get_backend()
+        reducer = b.amax if mode == "max" else b.amin
         out_data = reducer(self.data, axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
+        def backward(grad) -> None:
             expanded = out_data
             g = grad
             if axis is not None and not keepdims:
                 ax = axis if isinstance(axis, tuple) else (axis,)
-                expanded = np.expand_dims(expanded, axis=ax)
-                g = np.expand_dims(g, axis=ax)
-            mask = (self.data == expanded).astype(self.data.dtype)
+                expanded = b.expand_dims(expanded, axis=ax)
+                g = b.expand_dims(g, axis=ax)
+            mask = b.cast(b.equal(self.data, expanded), self.data.dtype)
             # Split gradient evenly among ties so the op stays a subgradient.
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(g * mask / counts)
+            counts = (
+                b.sum(mask, axis=axis, keepdims=True) if axis is not None else b.sum(mask)
+            )
+            self._accumulate(b.divide(b.multiply(g, mask), counts), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -433,11 +497,12 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
+        b = get_backend()
+        out_data = b.reshape(self.data, shape)
         original = self.shape
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(original))
+        def backward(grad) -> None:
+            self._accumulate(b.reshape(grad, original))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -446,11 +511,12 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        out_data = self.data.transpose(axes)
-        inverse = np.argsort(axes)
+        b = get_backend()
+        out_data = b.transpose(self.data, axes)
+        inverse = tuple(int(i) for i in np.argsort(axes))
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.transpose(inverse))
+        def backward(grad) -> None:
+            self._accumulate(b.transpose(grad, inverse))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -460,21 +526,22 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
+        b = get_backend()
+        out_data = b.getitem(self.data, index)
 
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+        def backward(grad) -> None:
+            full = b.zeros_like(self.data)
+            b.scatter_add(full, index, grad)
+            self._accumulate(full, owned=True)
 
-        return Tensor._make(np.array(out_data, copy=True), (self,), backward)
+        return Tensor._make(b.copy(out_data), (self,), backward)
 
     def squeeze(self, axis=None) -> "Tensor":
-        out_shape = np.squeeze(self.data, axis=axis).shape
+        out_shape = get_backend().squeeze(self.data, axis=axis).shape
         return self.reshape(out_shape)
 
     def unsqueeze(self, axis: int) -> "Tensor":
-        out_shape = np.expand_dims(self.data, axis=axis).shape
+        out_shape = get_backend().expand_dims(self.data, axis=axis).shape
         return self.reshape(out_shape)
 
 

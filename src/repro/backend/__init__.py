@@ -1,0 +1,39 @@
+"""Pluggable array backends for the neural substrate.
+
+``repro.autograd``, ``repro.nn`` and ``repro.optim`` issue every array
+operation through the active :class:`ArrayBackend` rather than calling
+numpy directly.  Two backends ship:
+
+* ``numpy_ref`` (default) — plain numpy, bit-identical to the
+  pre-backend substrate for any fixed seed;
+* ``numpy_fused`` — same dtypes and semantics, but with single-GEMM
+  matmuls for stacked operands, memoised einsum paths, ``out=`` fused
+  elementwise kernels, strided conv scatters, and in-place optimiser
+  updates.
+
+Select with ``REPRO_BACKEND=numpy_fused``, :func:`set_backend`, the
+:func:`use_backend` context manager, or ``STSMConfig(backend=...)``.
+See DESIGN.md ("Array backends") for the protocol and how to add one.
+"""
+
+from .base import ArrayBackend
+from .numpy_fused import NumpyFusedBackend
+from .numpy_ref import NumpyRefBackend
+from .registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyFusedBackend",
+    "NumpyRefBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]

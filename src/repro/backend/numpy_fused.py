@@ -1,0 +1,227 @@
+"""Fused numpy backend: same dtype semantics, fewer passes and temporaries.
+
+Inherits the primitive surface from :class:`NumpyRefBackend` and overrides
+the hot paths:
+
+* **matmul** — stacked operands against 2-D matrices are flattened into a
+  single large GEMM instead of numpy's per-slice broadcast loop (the shape
+  ``(B, T, N, C) @ (C, C')`` Linear case and the ``(N, N) @ (B, T, N, C)``
+  graph-convolution case dominate STSM's runtime).
+* **einsum** — contraction paths are memoised per (subscripts, shapes), so
+  the dilated-convolution einsums skip ``einsum_path`` re-planning on
+  every batch.
+* **elementwise composites** (sigmoid, tanh/sigmoid backward, softmax,
+  dropout mask) — run as in-place ``out=`` chains over one preallocated
+  buffer instead of a fresh temporary per ufunc.
+* **conv1d scatter / scatter_add** — the tap-gather adjoint walks the
+  kernel taps with strided ``+=`` slabs instead of ``np.add.at`` (which
+  falls back to a slow per-element inner loop), and basic-slice scatters
+  skip ``np.add.at`` entirely.
+* **optimiser steps** — SGD/Adam state updates run in place on the
+  moment/velocity buffers, with a single parameter-sized scratch
+  temporary per step instead of the reference rule's chain of
+  intermediates.
+
+Numerical contract: results match ``numpy_ref`` to tight floating-point
+tolerance (same dtypes, same algorithms) but are not bit-identical —
+reassociated GEMMs and fused reductions round differently in the last
+ulps.  ``tests/backend/test_parity.py`` pins the agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .numpy_ref import NumpyRefBackend
+
+__all__ = ["NumpyFusedBackend"]
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` contains no integer/bool arrays (no duplicates)."""
+    if isinstance(index, tuple):
+        return all(_is_basic_index(part) for part in index)
+    return isinstance(index, (int, np.integer, slice, type(None), type(Ellipsis)))
+
+
+class NumpyFusedBackend(NumpyRefBackend):
+    """Fused/in-place numpy backend (see module docstring)."""
+
+    name = "numpy_fused"
+
+    def __init__(self) -> None:
+        self._einsum_paths: dict = {}
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    # matmul is inherited unchanged: numpy's broadcast matmul is already
+    # the fastest formulation for both stacked-lhs and stacked-rhs cases
+    # on a single-core BLAS (measured against flattened single GEMMs and
+    # tensordot reshapes, which lose to their transpose copies).
+
+    def einsum(self, subscripts: str, *operands):
+        key = (subscripts, tuple(op.shape for op in operands))
+        path = self._einsum_paths.get(key)
+        if path is None:
+            path = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
+            self._einsum_paths[key] = path
+        return np.einsum(subscripts, *operands, optimize=path)
+
+    # ------------------------------------------------------------------
+    # Dilated-convolution kernels as per-tap strided GEMMs
+    # ------------------------------------------------------------------
+    # The reference backend materialises tap columns (a fancy-index copy)
+    # and contracts with einsum, then scatter-adds the adjoint through
+    # np.add.at.  Each kernel tap k actually reads/writes one contiguous
+    # slab padded[:, :, k*dilation : k*dilation + T_out], so the whole
+    # convolution is K strided broadcast GEMMs with no gather, no column
+    # tensor, and no scatter — the dominant win of this backend on the
+    # TCN path.
+    def conv1d_apply(self, padded, weight, dilation: int, out_len: int):
+        kernel = weight.shape[2]
+        out = weight[:, :, 0] @ padded[:, :, :out_len]
+        for k in range(1, kernel):
+            start = k * dilation
+            out += weight[:, :, k] @ padded[:, :, start : start + out_len]
+        return out, None
+
+    def conv1d_backward(self, grad, saved, padded, weight, dilation: int):
+        kernel = weight.shape[2]
+        out_len = grad.shape[-1]
+        grad_weight = np.empty_like(weight)
+        grad_padded = np.zeros_like(padded)
+        for k in range(kernel):
+            slab = slice(k * dilation, k * dilation + out_len)
+            # grad_w[o, c, k] = sum_{b, t} grad[b, o, t] * padded[b, c, t + k*d]
+            grad_weight[:, :, k] = np.tensordot(grad, padded[:, :, slab], axes=([0, 2], [0, 2]))
+            grad_padded[:, :, slab] += weight[:, :, k].T @ grad
+        return grad_weight, grad_padded
+
+    # ------------------------------------------------------------------
+    # Fused elementwise composites
+    # ------------------------------------------------------------------
+    def sigmoid(self, x):
+        out = np.clip(x, -60.0, 60.0)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        out += 1.0
+        np.reciprocal(out, out=out)
+        return out
+
+    def sigmoid_backward(self, grad, out):
+        buf = np.subtract(1.0, out)
+        buf *= out
+        buf *= grad
+        return buf
+
+    def tanh_backward(self, grad, out):
+        buf = np.multiply(out, out)
+        np.subtract(1.0, buf, out=buf)
+        buf *= grad
+        return buf
+
+    def softmax(self, x, axis: int = -1):
+        out = np.subtract(x, np.max(x, axis=axis, keepdims=True))
+        np.exp(out, out=out)
+        out /= np.sum(out, axis=axis, keepdims=True)
+        return out
+
+    def softmax_backward(self, grad, out, axis: int = -1):
+        buf = np.multiply(grad, out)
+        dot = np.sum(buf, axis=axis, keepdims=True)
+        np.subtract(grad, dot, out=buf)
+        buf *= out
+        return buf
+
+    def log_softmax(self, x, axis: int = -1):
+        out = np.subtract(x, np.max(x, axis=axis, keepdims=True))
+        soft = np.exp(out)
+        norm = np.sum(soft, axis=axis, keepdims=True)
+        out -= np.log(norm)
+        soft /= norm
+        return out, soft
+
+    def log_softmax_backward(self, grad, soft, axis: int = -1):
+        buf = np.multiply(soft, np.sum(grad, axis=axis, keepdims=True))
+        np.subtract(grad, buf, out=buf)
+        return buf
+
+    def dropout_mask(self, rng, shape, keep: float, dtype):
+        mask = rng.random(shape) < keep
+        out = mask.astype(dtype)
+        out /= keep
+        return out
+
+    def maximum_backward(self, grad, a, b, a_shape, b_shape, unbroadcast):
+        # winners-plus-half-ties weight per side: 1 on wins, 0.5 on ties,
+        # 0 on losses, as 0.5 * ((x > y) + (x >= y)).  Each side uses its
+        # own comparisons (not the complement of the other) so NaN
+        # entries — where every comparison is False — zero both sides
+        # exactly like the reference rule.
+        weight = np.greater(a, b).astype(grad.dtype)
+        weight += np.greater_equal(a, b)
+        weight *= 0.5
+        weight *= grad
+        grad_a = unbroadcast(weight, a_shape)
+        weight_b = np.greater(b, a).astype(grad.dtype)
+        weight_b += np.greater_equal(b, a)
+        weight_b *= 0.5
+        weight_b *= grad
+        grad_b = unbroadcast(weight_b, b_shape)
+        return grad_a, grad_b
+
+    # ------------------------------------------------------------------
+    # Scatter
+    # ------------------------------------------------------------------
+    def scatter_add(self, target, index, values) -> None:
+        if _is_basic_index(index):
+            # Basic slicing cannot alias elements, so a strided += is exact.
+            target[index] += values
+        else:
+            np.add.at(target, index, values)
+
+    # ------------------------------------------------------------------
+    # Optimiser steps
+    # ------------------------------------------------------------------
+    def sgd_step(self, param, grad, velocity, lr: float, momentum: float) -> None:
+        if momentum:
+            velocity *= momentum
+            velocity += grad
+            buf = np.multiply(velocity, lr)
+        else:
+            buf = np.multiply(grad, lr)
+        param -= buf
+
+    def adam_step(
+        self,
+        param,
+        grad,
+        m,
+        v,
+        lr: float,
+        beta1: float,
+        beta2: float,
+        eps: float,
+        correction1: float,
+        correction2: float,
+        weight_decay: float,
+    ) -> None:
+        buf = np.empty_like(grad)
+        if weight_decay:
+            np.multiply(param, weight_decay, out=buf)
+            buf += grad
+            grad = buf.copy()
+        np.multiply(grad, 1.0 - beta1, out=buf)
+        m *= beta1
+        m += buf
+        np.multiply(grad, grad, out=buf)
+        buf *= 1.0 - beta2
+        v *= beta2
+        v += buf
+        np.divide(v, correction2, out=buf)
+        np.sqrt(buf, out=buf)
+        buf += eps
+        np.divide(m, buf, out=buf)
+        buf *= lr / correction1
+        param -= buf

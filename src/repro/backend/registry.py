@@ -1,0 +1,110 @@
+"""Backend registry: naming, selection, and the process-wide active backend.
+
+Selection precedence (first hit wins):
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call;
+2. the ``REPRO_BACKEND`` environment variable, read once on first use;
+3. the default, ``numpy_ref``.
+
+``STSMConfig.backend`` threads a per-model choice through the same
+mechanism — :class:`~repro.core.model.STSMForecaster` wraps its fit and
+predict paths in :func:`use_backend`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Iterator
+
+from .base import ArrayBackend
+from .numpy_fused import NumpyFusedBackend
+from .numpy_ref import NumpyRefBackend
+
+__all__ = [
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+DEFAULT_BACKEND = "numpy_ref"
+ENV_VAR = "REPRO_BACKEND"
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: dict[str, ArrayBackend] = {}
+_ACTIVE: ArrayBackend | None = None
+_LOCK = threading.Lock()
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` (idempotent per name)."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _instance(name: str) -> ArrayBackend:
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+            )
+        backend = factory()
+        _INSTANCES[name] = backend
+    return backend
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend (resolving ``REPRO_BACKEND`` on first use)."""
+    global _ACTIVE
+    backend = _ACTIVE
+    if backend is None:
+        with _LOCK:
+            if _ACTIVE is None:
+                _ACTIVE = _instance(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+            backend = _ACTIVE
+    return backend
+
+
+def set_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Switch the process-wide active backend; returns the previous one.
+
+    Accepts a registered name or an :class:`ArrayBackend` instance.
+    """
+    global _ACTIVE
+    previous = get_backend()
+    _ACTIVE = _instance(backend) if isinstance(backend, str) else backend
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(backend: str | ArrayBackend | None) -> Iterator[ArrayBackend]:
+    """Context manager scoping the active backend; ``None`` is a no-op.
+
+    Mixing tensors created under different numpy-family backends is safe
+    (they share the ndarray type); a future device backend would need its
+    tensors created and consumed under the same backend scope.
+    """
+    if backend is None:
+        yield get_backend()
+        return
+    previous = set_backend(backend)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)
+
+
+register_backend("numpy_ref", NumpyRefBackend)
+register_backend("numpy_fused", NumpyFusedBackend)

@@ -95,6 +95,11 @@ class STSMConfig:
     contrastive_weight: float = 0.5
     temperature: float = 0.5
 
+    # Array backend (repro.backend registry): None inherits the active
+    # process-wide backend (REPRO_BACKEND env var, default numpy_ref);
+    # a name scopes this model's fit/predict to that backend.
+    backend: str | None = None
+
     def replace(self, **changes) -> "STSMConfig":
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
@@ -121,6 +126,14 @@ class STSMConfig:
             raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
         if self.lr_step_size <= 0:
             raise ValueError("lr_step_size must be positive")
+        if self.backend is not None:
+            from ..backend import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"available: {', '.join(available_backends())}"
+                )
 
 
 def config_for_dataset(dataset_name: str, **overrides) -> STSMConfig:

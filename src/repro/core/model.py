@@ -36,6 +36,7 @@ import time
 import numpy as np
 
 from ..autograd import Tensor, no_grad
+from ..backend import use_backend
 from ..data.dataset import SpatioTemporalDataset
 from ..data.scalers import StandardScaler
 from ..data.splits import SpaceSplit
@@ -215,6 +216,17 @@ class STSMForecaster(Forecaster):
     # Fitting
     # ------------------------------------------------------------------
     def fit(
+        self,
+        dataset: SpatioTemporalDataset,
+        split: SpaceSplit,
+        spec: WindowSpec,
+        train_steps: np.ndarray,
+    ) -> FitReport:
+        """Train under the config's array backend (None = process default)."""
+        with use_backend(self.config.backend):
+            return self._fit_impl(dataset, split, spec, train_steps)
+
+    def _fit_impl(
         self,
         dataset: SpatioTemporalDataset,
         split: SpaceSplit,
@@ -489,7 +501,13 @@ class STSMForecaster(Forecaster):
         With ``stochastic=True`` the dropout layers stay active, producing
         one Monte-Carlo sample per call — the mechanism used by
         :class:`~repro.core.uncertainty.MCDropoutForecaster`.
+
+        Runs under the same array backend the model was fitted with.
         """
+        with use_backend(self.config.backend):
+            return self._predict_impl(window_starts, stochastic)
+
+    def _predict_impl(self, window_starts: np.ndarray, stochastic: bool = False) -> np.ndarray:
         if not self._fitted or self.network is None:
             raise RuntimeError("predict() called before fit()")
         spec = self.spec

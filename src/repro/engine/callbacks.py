@@ -11,6 +11,9 @@ restored when training stops.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 from typing import Callable, Mapping
 
 import numpy as np
@@ -65,20 +68,38 @@ class EarlyStopping:
         :attr:`should_stop` turns True.
     min_delta:
         Required improvement margin: ``score < best - min_delta``.
+    checkpoint_dir:
+        Optional directory; when set, every improvement also persists the
+        best state dict to ``<dir>/best.npz`` (plus a ``best.json``
+        metadata sidecar) so long fits survive restarts and later runs
+        can warm-start via :meth:`load_checkpoint` /
+        :meth:`~repro.engine.Trainer.restore`.
 
     The callback snapshots the program's state dict on every improvement
     and can :meth:`restore` it afterwards, so the model ends at its best
     validation epoch rather than its last.
     """
 
-    def __init__(self, patience: int, min_delta: float = 1e-9) -> None:
+    #: File names used inside ``checkpoint_dir``.
+    CHECKPOINT_FILE = "best.npz"
+    METADATA_FILE = "best.json"
+
+    def __init__(
+        self,
+        patience: int,
+        min_delta: float = 1e-9,
+        checkpoint_dir: str | Path | None = None,
+    ) -> None:
         if patience < 1:
             raise ValueError(f"patience must be >= 1, got {patience}")
         self.patience = patience
         self.min_delta = min_delta
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
         self.best_score = float("inf")
+        self.best_epoch: int | None = None
         self.best_state: Mapping[str, np.ndarray] | None = None
         self._patience_left = patience
+        self._epochs_seen = 0
 
     def update(self, score: float, snapshot: Callable[[], Mapping[str, np.ndarray]]) -> bool:
         """Record one epoch's score; returns True when it improved.
@@ -87,13 +108,57 @@ class EarlyStopping:
         expensive state dicts pay nothing on flat epochs.  A NaN score
         compares False against any best and therefore never improves.
         """
+        epoch = self._epochs_seen
+        self._epochs_seen += 1
         if score < self.best_score - self.min_delta:
             self.best_score = float(score)
+            self.best_epoch = epoch
             self.best_state = snapshot()
             self._patience_left = self.patience
+            if self.checkpoint_dir is not None:
+                self._persist()
             return True
         self._patience_left -= 1
         return False
+
+    def _persist(self) -> None:
+        """Write the best state dict and its metadata to ``checkpoint_dir``.
+
+        Both files are written to temporaries and atomically renamed so a
+        fit killed mid-save (the restart scenario checkpoints exist for)
+        never leaves a truncated ``best.npz`` behind — the previous
+        complete checkpoint survives instead.
+        """
+        directory = self.checkpoint_dir
+        directory.mkdir(parents=True, exist_ok=True)
+        state = {name: np.asarray(values) for name, values in self.best_state.items()}
+        checkpoint_tmp = directory / (self.CHECKPOINT_FILE + ".tmp")
+        with open(checkpoint_tmp, "wb") as handle:
+            np.savez(handle, **state)
+        os.replace(checkpoint_tmp, directory / self.CHECKPOINT_FILE)
+        metadata = {"best_score": self.best_score, "best_epoch": self.best_epoch}
+        metadata_tmp = directory / (self.METADATA_FILE + ".tmp")
+        metadata_tmp.write_text(json.dumps(metadata))
+        os.replace(metadata_tmp, directory / self.METADATA_FILE)
+
+    @classmethod
+    def load_checkpoint(
+        cls, checkpoint_dir: str | Path
+    ) -> tuple[dict[str, np.ndarray], dict]:
+        """Load ``(state_dict, metadata)`` persisted by a prior fit.
+
+        Raises ``FileNotFoundError`` when the directory holds no
+        checkpoint.
+        """
+        directory = Path(checkpoint_dir)
+        path = directory / cls.CHECKPOINT_FILE
+        if not path.exists():
+            raise FileNotFoundError(f"no checkpoint at {path}")
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+        meta_path = directory / cls.METADATA_FILE
+        metadata = json.loads(meta_path.read_text()) if meta_path.exists() else {}
+        return state, metadata
 
     @property
     def should_stop(self) -> bool:

@@ -37,6 +37,8 @@ Hook surface (override what the model needs, inherit the rest):
 
 from __future__ import annotations
 
+import warnings
+import zipfile
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -181,3 +183,33 @@ class Trainer:
         if self.early_stopping is not None:
             self.early_stopping.restore(program.load_state_dict)
         return self.history
+
+    def restore(self, checkpoint_dir=None) -> bool:
+        """Reload best-epoch weights into the program.
+
+        An explicitly passed ``checkpoint_dir`` always loads from disk
+        (warm-starting from another run's checkpoint).  Without one, the
+        in-memory snapshot held by this trainer's :class:`EarlyStopping`
+        is preferred, falling back to the early stopper's own
+        ``checkpoint_dir`` — the restart-recovery path.  Returns True
+        when weights were loaded.
+        """
+        if checkpoint_dir is None:
+            if self.early_stopping is not None and self.early_stopping.best_state is not None:
+                return self.early_stopping.restore(self.program.load_state_dict)
+            if self.early_stopping is not None:
+                checkpoint_dir = self.early_stopping.checkpoint_dir
+        if checkpoint_dir is None:
+            return False
+        try:
+            state, _metadata = EarlyStopping.load_checkpoint(checkpoint_dir)
+        except FileNotFoundError:
+            return False
+        except (ValueError, OSError, zipfile.BadZipFile) as error:
+            # A corrupt archive (e.g. from a pre-atomic-write version or a
+            # damaged disk) should degrade to "nothing to restore", not
+            # crash the restart-recovery path.
+            warnings.warn(f"ignoring unreadable checkpoint in {checkpoint_dir}: {error}")
+            return False
+        self.program.load_state_dict(state)
+        return True

@@ -11,6 +11,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -47,7 +48,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="dataset keys (experiments that accept them)")
     parser.add_argument("--output", default=None,
                         help="write the result rows as JSON to this path")
+    parser.add_argument("--backend", default=None,
+                        help="array backend for all models (default: REPRO_BACKEND "
+                             "env var or numpy_ref); see repro.backend")
+    parser.add_argument("--service", action="store_true",
+                        help="route test predictions through the batched/cached "
+                             "ForecastService (experiments that support it)")
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        from ..backend import set_backend
+
+        set_backend(args.backend)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -57,21 +69,36 @@ def main(argv: list[str] | None = None) -> int:
     kwargs: dict = {"scale_name": args.scale, "seed": args.seed}
     if args.datasets is not None:
         kwargs["datasets"] = args.datasets
+    if args.service:
+        kwargs["use_service"] = True
+    # Drop optional kwargs the experiment's signature does not accept
+    # (e.g. --service on a datasets-only experiment) instead of probing
+    # with TypeError retries, which would both re-run expensive fits and
+    # swallow genuine TypeErrors raised inside the experiment body.
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is not None:
+        parameters = inspect.signature(runner).parameters
+        accepts_any = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        if not accepts_any:
+            for key in ("use_service", "datasets"):
+                if key in kwargs and key not in parameters:
+                    kwargs.pop(key)
+                    print(f"[note: {args.experiment} does not take --{key.replace('_', '-')}; ignored]")
     began = time.perf_counter()
-    try:
-        result = run_experiment(args.experiment, **kwargs)
-    except TypeError:
-        # Experiment does not take a datasets argument.
-        kwargs.pop("datasets", None)
-        result = run_experiment(args.experiment, **kwargs)
+    result = run_experiment(args.experiment, **kwargs)
     elapsed = time.perf_counter() - began
     print(result["text"])
     print(f"\n[{args.experiment} @ scale={args.scale} in {elapsed:.1f}s]")
     if args.output:
+        from ..backend import get_backend
+
         payload = {
             "experiment": args.experiment,
             "scale": args.scale,
             "seed": args.seed,
+            "backend": get_backend().name,
             "elapsed_seconds": round(elapsed, 2),
             "rows": _jsonable(result.get("rows", [])),
         }

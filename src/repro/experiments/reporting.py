@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "improvement_percent"]
+__all__ = ["format_table", "improvement_percent", "service_columns"]
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
@@ -30,6 +30,26 @@ def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> 
     rule = "-" * len(header)
     body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered)
     return f"{header}\n{rule}\n{body}"
+
+
+def service_columns(stats: dict) -> dict:
+    """Serving-telemetry table columns from ``ForecastService.stats``.
+
+    Used by the Table 5 timing report when predictions are routed through
+    the batched/cached service: cache-hit rate over all submitted
+    requests, coalesced duplicates folded into pending batches, and the
+    average windows per model ``predict`` call.
+    """
+    requests = int(stats.get("requests", 0))
+    calls = int(stats.get("predict_calls", 0))
+    computed = int(stats.get("windows_computed", 0))
+    return {
+        "Requests": requests,
+        "CacheHit%": 100.0 * stats.get("cache_hits", 0) / requests if requests else 0.0,
+        "Coalesced": int(stats.get("coalesced", 0)),
+        "PredCalls": calls,
+        "Win/Call": computed / calls if calls else 0.0,
+    }
 
 
 def improvement_percent(best_model_value: float, best_baseline_value: float,

@@ -7,9 +7,12 @@ temporal embeddings per block (following GMAN, Zheng et al. AAAI 2020).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..autograd import Tensor, concatenate, softmax
+from ..backend import get_backend
 from . import init
 from .layers import Dropout, Linear
 from .layers import LayerNorm
@@ -19,13 +22,19 @@ __all__ = ["MultiHeadAttention", "TransformerEncoderLayer", "positional_encoding
 
 
 def positional_encoding(length: int, dim: int) -> np.ndarray:
-    """Sinusoidal positional encoding table of shape ``(length, dim)``."""
-    position = np.arange(length)[:, None]
-    term = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
-    table = np.zeros((length, dim))
-    table[:, 0::2] = np.sin(position * term)
-    table[:, 1::2] = np.cos(position * term[: (dim + 1) // 2])
-    return table
+    """Sinusoidal positional encoding table of shape ``(length, dim)``.
+
+    Built by interleaving stacked sin/cos columns (reshape of a
+    ``(length, dim/2, 2)`` stack) rather than strided assignment, so the
+    construction uses only ArrayBackend ops.
+    """
+    b = get_backend()
+    half = (dim + 1) // 2
+    position = b.expand_dims(b.arange(length), 1)
+    term = b.exp(b.multiply(b.arange(0, dim, 2), -math.log(10000.0) / dim))
+    angles = b.multiply(position, term)  # (length, ceil(dim/2))
+    paired = b.stack([b.sin(angles), b.cos(angles)], axis=2)
+    return b.getitem(b.reshape(paired, (length, 2 * half)), (slice(None), slice(0, dim)))
 
 
 class MultiHeadAttention(Module):
@@ -65,7 +74,7 @@ class MultiHeadAttention(Module):
         q = self._split_heads(self.query_proj(query))
         k = self._split_heads(self.key_proj(key))
         v = self._split_heads(self.value_proj(value))
-        scale = 1.0 / np.sqrt(self.head_dim)
+        scale = 1.0 / math.sqrt(self.head_dim)
         scores = (q @ k.transpose(0, 1, 3, 2)) * scale
         weights = self.dropout(softmax(scores, axis=-1))
         attended = weights @ v  # (batch, heads, time_q, head_dim)

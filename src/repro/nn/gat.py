@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, concatenate, leaky_relu, softmax
+from ..backend import get_backend
 from .module import Module, Parameter
 from . import init
 
@@ -82,10 +83,11 @@ class GraphAttention(Module):
 
     def _mask_offsets(self, adjacency: np.ndarray) -> np.ndarray:
         """``(N, N)`` additive logit offsets: 0 on edges, -1e9 elsewhere."""
-        mask = np.asarray(adjacency) > 0
+        b = get_backend()
+        mask = b.greater(b.asarray(adjacency), 0)
         if self.include_self:
-            mask = mask | np.eye(mask.shape[0], dtype=bool)
-        return np.where(mask, 0.0, _MASK_OFFSET)
+            mask = b.logical_or(mask, b.eye(mask.shape[0], dtype=bool))
+        return b.where(mask, 0.0, _MASK_OFFSET)
 
     def forward(self, adjacency: Tensor | np.ndarray, features: Tensor) -> Tensor:
         """Attend over neighbours.
@@ -103,7 +105,7 @@ class GraphAttention(Module):
         ``(..., N, out_dim)`` attended features (heads concatenated).
         """
         adjacency_data = (
-            adjacency.numpy() if isinstance(adjacency, Tensor) else np.asarray(adjacency)
+            adjacency.numpy() if isinstance(adjacency, Tensor) else get_backend().asarray(adjacency)
         )
         offsets = Tensor(self._mask_offsets(adjacency_data))
         lead = features.ndim - 2
@@ -126,7 +128,7 @@ class GraphAttention(Module):
     ) -> np.ndarray:
         """Per-head attention matrices ``(heads, ..., N, N)`` for inspection."""
         adjacency_data = (
-            adjacency.numpy() if isinstance(adjacency, Tensor) else np.asarray(adjacency)
+            adjacency.numpy() if isinstance(adjacency, Tensor) else get_backend().asarray(adjacency)
         )
         offsets = Tensor(self._mask_offsets(adjacency_data))
         lead = features.ndim - 2
@@ -138,7 +140,7 @@ class GraphAttention(Module):
             axes = tuple(range(lead)) + (lead + 1, lead)
             logits = leaky_relu(src + dst.transpose(*axes), self.negative_slope)
             out.append(softmax(logits + offsets, axis=-1).numpy())
-        return np.stack(out, axis=0)
+        return get_backend().to_numpy(get_backend().stack(out, axis=0))
 
     def extra_repr(self) -> str:
         return (

@@ -1,17 +1,24 @@
-"""Weight initialisation schemes (Glorot / He / uniform)."""
+"""Weight initialisation schemes (Glorot / He / uniform).
+
+Draws go through the active backend's explicit-generator RNG surface so
+initialisation is reproducible across backends (``default_rng(seed)``
+must yield numpy-compatible draw sequences; see the backend contract).
+"""
 
 from __future__ import annotations
 
-import numpy as np
+import math
+
+from ..backend import get_backend
 
 __all__ = ["xavier_uniform", "xavier_normal", "he_uniform", "uniform", "zeros", "default_rng"]
 
 _DEFAULT_SEED = 0x5757
 
 
-def default_rng(seed: int | None = None) -> np.random.Generator:
+def default_rng(seed: int | None = None):
     """Return the repository-wide default RNG (deterministic unless seeded)."""
-    return np.random.default_rng(_DEFAULT_SEED if seed is None else seed)
+    return get_backend().default_rng(_DEFAULT_SEED if seed is None else seed)
 
 
 def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -21,35 +28,35 @@ def _fan(shape: tuple[int, ...]) -> tuple[int, int]:
     if len(shape) == 2:
         return shape[0], shape[1]
     # Convolution kernels: (out_channels, in_channels, *spatial)
-    receptive = int(np.prod(shape[2:]))
+    receptive = int(math.prod(shape[2:]))
     return shape[1] * receptive, shape[0] * receptive
 
-def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_uniform(shape: tuple[int, ...], rng, gain: float = 1.0):
     """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(shape)
-    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return get_backend().uniform(rng, -bound, bound, shape)
 
 
-def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_normal(shape: tuple[int, ...], rng, gain: float = 1.0):
     """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan(shape)
-    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return get_backend().normal(rng, 0.0, std, shape)
 
 
-def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def he_uniform(shape: tuple[int, ...], rng):
     """He/Kaiming uniform for ReLU fan-in scaling."""
     fan_in, _fan_out = _fan(shape)
-    bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return get_backend().uniform(rng, -bound, bound, shape)
 
 
-def uniform(shape: tuple[int, ...], rng: np.random.Generator, bound: float) -> np.ndarray:
+def uniform(shape: tuple[int, ...], rng, bound: float):
     """Plain uniform U(-bound, bound)."""
-    return rng.uniform(-bound, bound, size=shape)
+    return get_backend().uniform(rng, -bound, bound, shape)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
+def zeros(shape: tuple[int, ...]):
     """All-zero array (bias default)."""
-    return np.zeros(shape)
+    return get_backend().zeros(shape)

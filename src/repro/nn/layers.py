@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, conv1d, dropout, embedding
+from ..backend import get_backend
 from . import init
 from .module import Module, Parameter
 
@@ -143,8 +144,8 @@ class LayerNorm(Module):
         super().__init__()
         self.features = features
         self.eps = eps
-        self.gamma = Parameter(np.ones(features), name="gamma")
-        self.beta = Parameter(np.zeros(features), name="beta")
+        self.gamma = Parameter(get_backend().ones(features), name="gamma")
+        self.beta = Parameter(get_backend().zeros(features), name="beta")
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
@@ -169,7 +170,9 @@ class Embedding(Module):
         rng = rng if rng is not None else init.default_rng()
         self.num_embeddings = num_embeddings
         self.dim = dim
-        self.weight = Parameter(rng.normal(0.0, 0.1, size=(num_embeddings, dim)), name="weight")
+        self.weight = Parameter(
+            get_backend().normal(rng, 0.0, 0.1, (num_embeddings, dim)), name="weight"
+        )
 
     def forward(self, indices: np.ndarray) -> Tensor:
         return embedding(self.weight, indices)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, clip_values, concatenate, log_softmax
+from ..backend import get_backend
 
 __all__ = ["mse_loss", "mae_loss", "huber_loss", "bce_loss", "cosine_similarity_matrix", "nt_xent_loss"]
 
@@ -24,8 +25,8 @@ def mse_loss(prediction: Tensor, target: Tensor, mask: np.ndarray | None = None)
     squared = diff * diff
     if mask is None:
         return squared.mean()
-    weights = np.asarray(mask, dtype=float)
-    total = weights.sum()
+    weights = get_backend().asarray(mask, dtype=float)
+    total = get_backend().sum(weights)
     if total == 0:
         raise ValueError("mse_loss mask selects no elements")
     return (squared * Tensor(weights)).sum() * (1.0 / total)
@@ -36,8 +37,8 @@ def mae_loss(prediction: Tensor, target: Tensor, mask: np.ndarray | None = None)
     gap = (prediction - target).abs()
     if mask is None:
         return gap.mean()
-    weights = np.asarray(mask, dtype=float)
-    total = weights.sum()
+    weights = get_backend().asarray(mask, dtype=float)
+    total = get_backend().sum(weights)
     if total == 0:
         raise ValueError("mae_loss mask selects no elements")
     return (gap * Tensor(weights)).sum() * (1.0 / total)
@@ -64,7 +65,7 @@ def bce_loss(probability: Tensor, target: Tensor) -> Tensor:
     Used by the GE-GAN baseline's discriminator objective.
     """
     p = clip_values(probability, 1e-7, 1.0 - 1e-7)
-    one = Tensor(np.ones_like(p.data))
+    one = Tensor(get_backend().ones_like(p.data))
     losses = -(target * p.log() + (one - target) * (one - p).log())
     return losses.mean()
 
@@ -105,6 +106,6 @@ def nt_xent_loss(anchor: Tensor, positive: Tensor, temperature: float = 0.5) -> 
         raise ValueError("nt_xent_loss needs at least 2 windows in a batch for negatives")
     sims = cosine_similarity_matrix(anchor, positive) * (1.0 / temperature)
     log_probs = log_softmax(sims, axis=1)
-    eye = np.eye(batch)
+    eye = get_backend().eye(batch)
     positive_terms = (log_probs * Tensor(eye)).sum() * (1.0 / batch)
     return -positive_terms

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, concatenate, stack
+from ..backend import get_backend
 from . import init
 from .module import Module, Parameter
 
@@ -30,7 +31,7 @@ class LSTMCell(Module):
         self.weight_g = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_g")
         self.weight_o = Parameter(init.xavier_uniform((joint, hidden_size), rng), name="weight_o")
         self.bias_i = Parameter(init.zeros((hidden_size,)), name="bias_i")
-        self.bias_f = Parameter(np.ones(hidden_size), name="bias_f")
+        self.bias_f = Parameter(get_backend().ones(hidden_size), name="bias_f")
         self.bias_g = Parameter(init.zeros((hidden_size,)), name="bias_g")
         self.bias_o = Parameter(init.zeros((hidden_size,)), name="bias_o")
 
@@ -60,8 +61,8 @@ class LSTM(Module):
     ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
         batch, steps, _features = x.shape
         if state is None:
-            h = Tensor(np.zeros((batch, self.hidden_size)))
-            c = Tensor(np.zeros((batch, self.hidden_size)))
+            h = Tensor(get_backend().zeros((batch, self.hidden_size)))
+            c = Tensor(get_backend().zeros((batch, self.hidden_size)))
         else:
             h, c = state
         outputs = []

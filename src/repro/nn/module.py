@@ -14,6 +14,7 @@ from typing import Iterator
 import numpy as np
 
 from ..autograd import Tensor
+from ..backend import get_backend
 
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
 
@@ -92,10 +93,14 @@ class Module:
     # ------------------------------------------------------------------
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
         """Return a copy of all parameter arrays keyed by dotted names."""
-        return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
+        backend = get_backend()
+        return OrderedDict(
+            (name, backend.copy(param.data)) for name, param in self.named_parameters()
+        )
 
     def load_state_dict(self, state: dict) -> None:
         """Load parameter arrays produced by :meth:`state_dict`."""
+        backend = get_backend()
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -103,10 +108,10 @@ class Module:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, values in state.items():
             param = own[name]
-            values = np.asarray(values, dtype=param.data.dtype)
+            values = backend.asarray(values, dtype=param.data.dtype)
             if values.shape != param.shape:
                 raise ValueError(f"shape mismatch for {name}: {values.shape} vs {param.shape}")
-            param.data[...] = values
+            backend.copyto(param.data, values)
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor, concatenate, stack
+from ..backend import get_backend
 from . import init
 from .module import Module, Parameter
 
@@ -45,7 +46,7 @@ class GRUCell(Module):
         update = (joint @ self.weight_z + self.bias_z).sigmoid()
         candidate_in = concatenate([x, reset * h], axis=-1)
         candidate = (candidate_in @ self.weight_n + self.bias_n).tanh()
-        one = Tensor(np.ones_like(update.data))
+        one = Tensor(get_backend().ones_like(update.data))
         return (one - update) * candidate + update * h
 
 
@@ -64,7 +65,7 @@ class GRU(Module):
 
     def forward(self, x: Tensor, h0: Tensor | None = None) -> tuple[Tensor, Tensor]:
         batch, steps, _features = x.shape
-        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        h = h0 if h0 is not None else Tensor(get_backend().zeros((batch, self.hidden_size)))
         outputs = []
         for t in range(steps):
             h = self.cell(x[:, t, :], h)

@@ -2,14 +2,19 @@
 
 The paper trains with Adam at an initial learning rate of 0.01 (§5.1.3);
 SGD is provided for the ablation/benchmark suite and for tests.
+
+Update rules execute through the active backend's ``sgd_step`` /
+``adam_step`` composites, so a performance backend can run them fully in
+place (the ``numpy_fused`` backend updates parameters with one scratch
+buffer and no per-step allocations).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
-import numpy as np
-
+from ..backend import get_backend
 from ..nn.module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
@@ -41,18 +46,15 @@ class SGD(Optimizer):
     def __init__(self, parameters: Iterable[Parameter], lr: float, momentum: float = 0.0) -> None:
         super().__init__(parameters, lr)
         self.momentum = momentum
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        backend = get_backend()
+        self._velocity = [backend.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        backend = get_backend()
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += param.grad
-                param.data -= self.lr * velocity
-            else:
-                param.data -= self.lr * param.grad
+            backend.sgd_step(param.data, param.grad, velocity, self.lr, self.momentum)
 
 
 class Adam(Optimizer):
@@ -71,10 +73,12 @@ class Adam(Optimizer):
         self.eps = eps
         self.weight_decay = weight_decay
         self._step_count = 0
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        backend = get_backend()
+        self._m = [backend.zeros_like(p.data) for p in self.parameters]
+        self._v = [backend.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
+        backend = get_backend()
         beta1, beta2 = self.betas
         self._step_count += 1
         correction1 = 1.0 - beta1 ** self._step_count
@@ -82,16 +86,19 @@ class Adam(Optimizer):
         for param, m, v in zip(self.parameters, self._m, self._v):
             if param.grad is None:
                 continue
-            grad = param.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
-            m *= beta1
-            m += (1.0 - beta1) * grad
-            v *= beta2
-            v += (1.0 - beta2) * grad * grad
-            m_hat = m / correction1
-            v_hat = v / correction2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            backend.adam_step(
+                param.data,
+                param.grad,
+                m,
+                v,
+                self.lr,
+                beta1,
+                beta2,
+                self.eps,
+                correction1,
+                correction2,
+                self.weight_decay,
+            )
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
@@ -99,10 +106,11 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
 
     Returns the pre-clipping norm (useful for logging).
     """
+    backend = get_backend()
     params = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total = math.sqrt(sum(backend.grad_norm_squared(p.grad) for p in params))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:
-            param.grad *= scale
+            backend.scale_inplace(param.grad, scale)
     return total

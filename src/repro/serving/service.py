@@ -64,7 +64,7 @@ class ForecastHandle:
         if value is _MISSING:
             # Evicted between flush and pickup (cache smaller than the
             # flush) — recompute just this window.
-            self._service._pending.append(self.start)
+            self._service._pending[self.start] = None
             self._service.flush()
             value = self._service._results.get(self.start)
         return value
@@ -110,12 +110,17 @@ class ForecastService:
             stateless_predict = getattr(forecaster, "stateless_predict", True)
         self.stateless_predict = stateless_predict
         self._results = LRUCache(maxsize=cache_size)
-        self._pending: list[int] = []
+        # Insertion-ordered pending set: O(1) membership for coalescing.
+        self._pending: dict[int, None] = {}
         # Telemetry for benchmarks and capacity planning.
         self.requests = 0
         self.predict_calls = 0
         self.windows_computed = 0
         self.predict_seconds = 0.0
+        #: Requests answered straight from the result cache at submit time.
+        self.cache_hits = 0
+        #: Requests folded into an already-pending window (batch dedup).
+        self.coalesced = 0
 
     # ------------------------------------------------------------------
     # Request intake
@@ -124,8 +129,12 @@ class ForecastService:
         """Enqueue one window-start request; batched at the next flush."""
         start = int(start)
         self.requests += 1
-        if start not in self._results:
-            self._pending.append(start)
+        if start in self._results:
+            self.cache_hits += 1
+        elif start in self._pending:
+            self.coalesced += 1
+        else:
+            self._pending[start] = None
         return ForecastHandle(self, start)
 
     def flush(self) -> int:
@@ -182,5 +191,7 @@ class ForecastService:
             "predict_calls": self.predict_calls,
             "windows_computed": self.windows_computed,
             "predict_seconds": self.predict_seconds,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
             "cache": self._results.stats,
         }

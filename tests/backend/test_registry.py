@@ -1,0 +1,122 @@
+"""Backend registry behaviour: selection, scoping, env var, config."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    NumpyFusedBackend,
+    NumpyRefBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from repro.core import STSMConfig
+
+
+@pytest.fixture()
+def ref_active():
+    """Pin numpy_ref as the active backend for the test, then restore."""
+    previous = set_backend("numpy_ref")
+    yield
+    set_backend(previous)
+
+
+def test_both_backends_registered():
+    names = available_backends()
+    assert "numpy_ref" in names
+    assert "numpy_fused" in names
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BACKEND", "numpy_ref") != "numpy_ref",
+    reason="suite runs under a non-default REPRO_BACKEND",
+)
+def test_default_backend_is_ref():
+    assert get_backend().name == "numpy_ref"
+
+
+def test_set_backend_returns_previous_and_switches(ref_active):
+    previous = set_backend("numpy_fused")
+    try:
+        assert previous.name == "numpy_ref"
+        assert get_backend().name == "numpy_fused"
+    finally:
+        set_backend(previous)
+    assert get_backend().name == "numpy_ref"
+
+
+def test_use_backend_scopes_and_restores(ref_active):
+    assert get_backend().name == "numpy_ref"
+    with use_backend("numpy_fused") as backend:
+        assert backend.name == "numpy_fused"
+        assert get_backend().name == "numpy_fused"
+    assert get_backend().name == "numpy_ref"
+
+
+def test_use_backend_none_is_noop():
+    with use_backend(None) as backend:
+        assert backend is get_backend()
+
+
+def test_use_backend_restores_on_error(ref_active):
+    with pytest.raises(RuntimeError):
+        with use_backend("numpy_fused"):
+            raise RuntimeError("boom")
+    assert get_backend().name == "numpy_ref"
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError, match="unknown backend"):
+        set_backend("not_a_backend")
+
+
+def test_register_custom_backend():
+    class Custom(NumpyRefBackend):
+        name = "custom_test"
+
+    register_backend("custom_test", Custom)
+    try:
+        assert "custom_test" in available_backends()
+        with use_backend("custom_test") as backend:
+            assert isinstance(backend, Custom)
+            assert isinstance(backend, ArrayBackend)
+    finally:
+        from repro.backend import registry
+
+        registry._FACTORIES.pop("custom_test", None)
+        registry._INSTANCES.pop("custom_test", None)
+
+
+def test_env_var_selects_backend():
+    code = "from repro.backend import get_backend; print(get_backend().name)"
+    env = dict(os.environ)
+    env["REPRO_BACKEND"] = "numpy_fused"
+    src = os.path.abspath("src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, env=env, check=True
+    )
+    assert out.stdout.strip() == "numpy_fused"
+
+
+def test_config_threads_backend():
+    config = STSMConfig(backend="numpy_fused")
+    config.validate()
+    with pytest.raises(ValueError, match="unknown backend"):
+        STSMConfig(backend="nope").validate()
+
+
+def test_backends_share_numpy_rng_streams():
+    ref, fused = NumpyRefBackend(), NumpyFusedBackend()
+    a = ref.random(ref.default_rng(7), (4, 3))
+    b = fused.random(fused.default_rng(7), (4, 3))
+    np.testing.assert_array_equal(a, b)
