@@ -1,0 +1,314 @@
+"""Serving-throughput benchmark: micro-batched scheduler vs unbatched predicts.
+
+Drives identical deterministic multi-threaded traffic (seeded Zipf
+window popularity, closed loop) through two serving strategies over the
+same fitted STSM model:
+
+* **unbatched** — one-request-per-``predict`` serving: each client
+  thread calls ``model.predict([start])`` directly under a lock (models
+  do not declare ``thread_safe_predict``), no batching, no cache;
+* **scheduler** — a :class:`~repro.serving.MicroBatchScheduler`
+  (micro-batch deadline + max-batch trigger, bounded queue) draining
+  through the cached/coalescing :class:`~repro.serving.ForecastService`.
+
+Both legs must serve **bitwise direct-predict bytes**: the unbatched leg
+is re-checked per window against a fresh single-window ``predict``, and
+the scheduler leg is certified by replaying its logged batch
+compositions through ``model.predict`` directly and comparing every
+served block against the replay.  The full run additionally hosts two
+models in a :class:`~repro.serving.ServingRuntime` and drives mixed
+routed traffic to exercise multi-model serving.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py            # full
+    PYTHONPATH=src python benchmarks/bench_serving_load.py --smoke    # CI wiring
+
+Writes ``BENCH_serving.json`` at the repository root (override with
+``--output``; ``-`` skips writing).  Acceptance target (full mode):
+scheduler throughput >= 2x unbatched under >= 8 concurrent client
+threads, with parity on every served byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.backend import get_backend  # noqa: E402
+from repro.core import STSMConfig, STSMForecaster  # noqa: E402
+from repro.data import WindowSpec, space_split, temporal_split  # noqa: E402
+from repro.data.synthetic import make_melbourne, make_pems_bay  # noqa: E402
+from repro.evaluation import forecast_window_starts  # noqa: E402
+from repro.serving import (  # noqa: E402
+    LoadGenerator,
+    LoadSpec,
+    MicroBatchScheduler,
+    ServingRuntime,
+)
+
+SPEEDUP_TARGET = 2.0
+
+
+def fit_model(maker, *, sensors: int, days: int, epochs: int, hidden: int, seed: int):
+    """Fit a small STSM on a synthetic dataset; returns (model, starts pool)."""
+    dataset = maker(num_sensors=sensors, num_days=days, seed=seed)
+    split = space_split(dataset.coords, "horizontal")
+    spec = WindowSpec(input_length=8, horizon=8)
+    train_ix, _ = temporal_split(dataset.num_steps)
+    config = STSMConfig(
+        hidden_dim=hidden, num_blocks=1, tcn_levels=2, gcn_depth=1,
+        epochs=epochs, patience=epochs, batch_size=8, window_stride=8,
+        top_k=min(6, sensors - 1), seed=seed,
+    )
+    model = STSMForecaster(config)
+    model.fit(dataset, split, spec, train_ix)
+    starts = forecast_window_starts(dataset, spec, max_windows=64)
+    return model, starts
+
+
+def run_unbatched(model, pool: np.ndarray, spec: LoadSpec) -> tuple[dict, bool]:
+    """One-``predict``-per-request serving from ``spec.num_threads`` threads."""
+    lock = threading.Lock()
+    thread_safe = getattr(model, "thread_safe_predict", False)
+
+    def serve(start: int) -> np.ndarray:
+        if thread_safe:
+            return model.predict(np.asarray([start], dtype=int))[0]
+        with lock:
+            return model.predict(np.asarray([start], dtype=int))[0]
+
+    report = LoadGenerator(pool.tolist(), spec).run(serve)
+    reference = {int(s): model.predict(np.asarray([s], dtype=int))[0] for s in pool}
+    parity = all(
+        np.array_equal(value, reference[int(start)])
+        for per_thread in report.results
+        for start, value in per_thread
+    )
+    return report.summary(), parity
+
+
+def run_scheduled(
+    model, pool: np.ndarray, spec: LoadSpec, *, deadline_ms: float, max_batch: int
+) -> tuple[dict, bool]:
+    """Micro-batched serving; parity certified by batch-log replay."""
+    with MicroBatchScheduler(
+        model,
+        deadline_ms=deadline_ms,
+        max_batch=max_batch,
+        max_queue=4096,
+        cache_size=max(256, len(pool)),
+        log_batches=True,
+        name="bench",
+    ) as scheduler:
+        report = LoadGenerator(pool.tolist(), spec).run(
+            lambda start: scheduler.submit(start).result()
+        )
+        scheduler.drain()
+        stats = scheduler.stats
+        batch_log = list(scheduler.service.batch_log)
+
+    # Replay every predict call the service actually issued, directly
+    # against the model: each served block must be bitwise one of these
+    # direct-predict bytes (first computation wins, as in the cache).
+    replay: dict[int, np.ndarray] = {}
+    for batch in batch_log:
+        block = model.predict(batch)
+        for row, start in enumerate(batch):
+            replay.setdefault(int(start), block[row])
+    parity = all(
+        np.array_equal(value, replay[int(start)])
+        for per_thread in report.results
+        for start, value in per_thread
+    )
+
+    summary = report.summary()
+    summary["scheduler"] = {
+        k: stats[k]
+        for k in (
+            "submitted", "completed", "rejected", "failed", "batches",
+            "avg_batch_size", "max_batch_observed", "peak_queue_depth",
+            "throughput_rps",
+        )
+    }
+    summary["scheduler"]["latency"] = stats["latency"]
+    service = stats["service"]
+    summary["service"] = {
+        k: service[k]
+        for k in (
+            "requests", "cache_hits", "cache_hit_pct", "coalesced",
+            "predict_calls", "windows_computed",
+        )
+    }
+    return summary, parity
+
+
+def run_multi_model(models: dict, spec: LoadSpec, *, deadline_ms: float) -> dict:
+    """Mixed routed traffic across several hosted models."""
+    pool = [
+        (key, int(start))
+        for key, (_model, starts) in sorted(models.items())
+        for start in starts[:16]
+    ]
+    with ServingRuntime(deadline_ms=deadline_ms, max_queue=4096) as runtime:
+        for key, (model, _starts) in models.items():
+            runtime.register(key, model)
+        report = LoadGenerator(pool, spec).run(
+            lambda item: runtime.submit(item[0], item[1]).result(),
+            collect_results=False,
+        )
+        runtime.drain()
+        stats = runtime.stats()
+    per_model = {
+        key: {
+            "completed": s["completed"],
+            "batches": s["batches"],
+            "avg_batch_size": s["avg_batch_size"],
+            "p50_ms": s["latency"]["p50_ms"],
+            "p99_ms": s["latency"]["p99_ms"],
+            "cache_hits": s["service"]["cache_hits"],
+        }
+        for key, s in stats["models"].items()
+    }
+    return {**report.summary(), "per_model": per_model, "totals": stats["totals"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny load / single-epoch fit (CI wiring check)")
+    parser.add_argument("--threads", type=int, default=None,
+                        help="client threads (default: 8 full, 4 smoke)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per thread (default: 150 full, 20 smoke)")
+    parser.add_argument("--deadline-ms", type=float, default=2.0,
+                        help="scheduler micro-batch deadline")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="scheduler max batch trigger")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf popularity exponent of the window pool")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default: <repo>/BENCH_serving.json; "
+                             "'-' skips writing)")
+    args = parser.parse_args(argv)
+
+    threads = args.threads if args.threads is not None else (4 if args.smoke else 8)
+    requests = args.requests if args.requests is not None else (20 if args.smoke else 150)
+    fit_kwargs = (
+        dict(sensors=16, days=2, epochs=1, hidden=8)
+        if args.smoke
+        else dict(sensors=24, days=3, epochs=2, hidden=16)
+    )
+
+    print(f"[fitting STSM ({'smoke' if args.smoke else 'full'}) ...]")
+    model, pool = fit_model(make_pems_bay, seed=args.seed, **fit_kwargs)
+    spec = LoadSpec(
+        num_threads=threads,
+        requests_per_thread=requests,
+        zipf_exponent=args.zipf,
+        seed=args.seed,
+    )
+
+    print(f"[unbatched leg: {threads} threads x {requests} requests]")
+    unbatched, unbatched_parity = run_unbatched(model, pool, spec)
+    print(f"[scheduler leg: deadline {args.deadline_ms} ms, max_batch {args.max_batch}]")
+    scheduled, scheduled_parity = run_scheduled(
+        model, pool, spec, deadline_ms=args.deadline_ms, max_batch=args.max_batch
+    )
+
+    speedup = scheduled["throughput_rps"] / unbatched["throughput_rps"]
+    for label, leg in (("unbatched", unbatched), ("scheduler", scheduled)):
+        lat = leg["latency"]
+        print(
+            f"{label:10s} {leg['throughput_rps']:9.0f} req/s   "
+            f"p50 {lat['p50_ms']:7.2f} ms   p95 {lat['p95_ms']:7.2f} ms   "
+            f"p99 {lat['p99_ms']:7.2f} ms"
+        )
+    sched = scheduled["scheduler"]
+    service = scheduled["service"]
+    print(
+        f"speedup    {speedup:.2f}x   batches {sched['batches']} "
+        f"(avg {sched['avg_batch_size']:.1f}, peak queue {sched['peak_queue_depth']})   "
+        f"cache-hit {service['cache_hit_pct']:.1f}%"
+    )
+    print(f"parity     unbatched={unbatched_parity} scheduler={scheduled_parity}")
+
+    multi = None
+    if not args.smoke:
+        print("[multi-model leg: 2 hosted models, mixed routed traffic]")
+        second, second_pool = fit_model(
+            make_melbourne, sensors=20, days=3, epochs=2, hidden=16, seed=args.seed + 1
+        )
+        multi = run_multi_model(
+            {"stsm/pems-bay": (model, pool), "stsm/melbourne": (second, second_pool)},
+            LoadSpec(
+                num_threads=threads,
+                requests_per_thread=max(1, requests // 2),
+                zipf_exponent=args.zipf,
+                seed=args.seed + 7,
+            ),
+            deadline_ms=args.deadline_ms,
+        )
+        print(
+            f"multi      {multi['throughput_rps']:9.0f} req/s across "
+            f"{multi['totals']['models']} models   "
+            f"cache-hit {multi['totals']['cache_hit_pct']:.1f}%"
+        )
+
+    results = {
+        "mode": "smoke" if args.smoke else "full",
+        "backend": get_backend().name,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "config": {
+            "num_threads": threads,
+            "requests_per_thread": requests,
+            "pool_size": int(len(pool)),
+            "zipf_exponent": args.zipf,
+            "deadline_ms": args.deadline_ms,
+            "max_batch": args.max_batch,
+            "seed": args.seed,
+            "fit": fit_kwargs,
+        },
+        "unbatched": unbatched,
+        "scheduler": scheduled,
+        "speedup": speedup,
+        "parity": {"unbatched": unbatched_parity, "scheduler": scheduled_parity},
+    }
+    if multi is not None:
+        results["multi_model"] = multi
+
+    if args.output != "-":
+        output = Path(args.output) if args.output else REPO_ROOT / "BENCH_serving.json"
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"[wrote {output}]")
+
+    if not (unbatched_parity and scheduled_parity):
+        print("ERROR: served outputs are not bitwise direct-predict bytes", file=sys.stderr)
+        return 1
+    if not args.smoke and speedup < SPEEDUP_TARGET:
+        print(
+            f"ERROR: scheduler speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_TARGET}x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ metrics are unchanged by enabling the caches.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable
 
@@ -58,7 +59,15 @@ def array_key(*parts) -> bytes:
 
 
 class LRUCache:
-    """Bounded least-recently-used memo store with hit/miss counters."""
+    """Bounded least-recently-used memo store with hit/miss counters.
+
+    Thread-safe: every operation takes an internal lock, so the serving
+    scheduler's worker thread and direct callers can share one cache
+    (get/put/``get_or_compute`` are individually atomic).  The lock is
+    uncontended in single-threaded use, so the overhead per operation is
+    a fraction of a microsecond — negligible next to the DTW dynamic
+    programs and model ``predict`` calls being memoised.
+    """
 
     def __init__(self, maxsize: int = 128) -> None:
         if maxsize < 1:
@@ -67,43 +76,62 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._store
+        with self._lock:
+            return key in self._store
 
     def get(self, key: Hashable, default=None):
-        if key in self._store:
-            self._store.move_to_end(key)
-            self.hits += 1
-            return self._store[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return self._store[key]
+            self.misses += 1
+            return default
 
     def put(self, key: Hashable, value) -> None:
-        self._store[key] = value
-        self._store.move_to_end(key)
-        while len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
-        """Return the cached value for ``key``, computing it on a miss."""
+        """Return the cached value for ``key``, computing it on a miss.
+
+        ``compute`` runs outside the lock (it may be arbitrarily slow);
+        two threads racing on the same missing key may both compute, but
+        the store stays consistent — the first writer wins and the loser
+        adopts the stored value, so every caller sees the same object.
+        For the bit-exact caches in this repository both computations
+        produce identical floats, so which one wins is unobservable.
+        """
         value = self.get(key, _MISSING)
         if value is _MISSING:
             value = compute()
-            self.put(key, value)
+            with self._lock:  # RLock: put() re-enters safely
+                if key in self._store:
+                    self._store.move_to_end(key)
+                    return self._store[key]
+                self.put(key, value)
         return value
 
     def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._store)}
 
 
 class PairwiseDTWCache:

@@ -54,6 +54,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--service", action="store_true",
                         help="route test predictions through the batched/cached "
                              "ForecastService (experiments that support it)")
+    parser.add_argument("--serve-concurrency", type=int, default=0,
+                        help="with --service: additionally replay the window "
+                             "traffic from this many concurrent client threads "
+                             "through the micro-batching scheduler and report "
+                             "throughput + p50/p95/p99 latency")
+    parser.add_argument("--serve-deadline-ms", type=float, default=2.0,
+                        help="micro-batch deadline for --serve-concurrency")
     args = parser.parse_args(argv)
 
     if args.backend is not None:
@@ -71,6 +78,10 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["datasets"] = args.datasets
     if args.service:
         kwargs["use_service"] = True
+    if args.serve_concurrency > 0:
+        kwargs["use_service"] = True  # the concurrent replay rides on the service
+        kwargs["serve_concurrency"] = args.serve_concurrency
+        kwargs["serve_deadline_ms"] = args.serve_deadline_ms
     # Drop optional kwargs the experiment's signature does not accept
     # (e.g. --service on a datasets-only experiment) instead of probing
     # with TypeError retries, which would both re-run expensive fits and
@@ -82,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
             p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
         )
         if not accepts_any:
-            for key in ("use_service", "datasets"):
+            for key in ("use_service", "datasets", "serve_concurrency", "serve_deadline_ms"):
                 if key in kwargs and key not in parameters:
                     kwargs.pop(key)
                     print(f"[note: {args.experiment} does not take --{key.replace('_', '-')}; ignored]")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "improvement_percent", "service_columns"]
+__all__ = ["format_table", "improvement_percent", "latency_columns", "service_columns"]
 
 
 def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
@@ -43,12 +43,32 @@ def service_columns(stats: dict) -> dict:
     requests = int(stats.get("requests", 0))
     calls = int(stats.get("predict_calls", 0))
     computed = int(stats.get("windows_computed", 0))
+    hit_pct = stats.get("cache_hit_pct")
+    if hit_pct is None:  # raw counter dicts predating the service's own pct
+        hit_pct = 100.0 * stats.get("cache_hits", 0) / requests if requests else 0.0
     return {
         "Requests": requests,
-        "CacheHit%": 100.0 * stats.get("cache_hits", 0) / requests if requests else 0.0,
+        "CacheHit%": float(hit_pct),
         "Coalesced": int(stats.get("coalesced", 0)),
         "PredCalls": calls,
         "Win/Call": computed / calls if calls else 0.0,
+    }
+
+
+def latency_columns(summary: dict) -> dict:
+    """Concurrent-serving table columns from a ``LoadReport.summary()``.
+
+    Used by the Table 5 timing report when ``--serve-concurrency`` replays
+    the window traffic through a micro-batching scheduler from many
+    client threads: sustained throughput plus client-observed latency
+    percentiles.
+    """
+    latency = summary.get("latency", {})
+    return {
+        "Thr(r/s)": float(summary.get("throughput_rps", 0.0)),
+        "p50(ms)": latency.get("p50_ms"),
+        "p95(ms)": latency.get("p95_ms"),
+        "p99(ms)": latency.get("p99_ms"),
     }
 
 

@@ -20,6 +20,13 @@ window traffic and are served from the result cache, and the service's
 cache-hit / coalesce counters are folded into the report (columns from
 :func:`~repro.experiments.reporting.service_columns`; ``Warm(s)`` is the
 best cache-served repeat).
+
+``serve_concurrency > 0`` (with ``use_service``) additionally replays the
+window traffic from that many concurrent client threads through a
+:class:`~repro.serving.MicroBatchScheduler` layered over the same
+(already warm) service — sustained throughput and client-observed
+p50/p95/p99 latency join the table via
+:func:`~repro.experiments.reporting.latency_columns`.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import numpy as np
 from ..data.splits import space_split, temporal_split
 from ..evaluation import compute_metrics, forecast_window_starts, stack_truth
 from .configs import get_scale
-from .reporting import format_table, service_columns
+from .reporting import format_table, latency_columns, service_columns
 from .runners import build_dataset, build_model
 
 __all__ = ["run"]
@@ -45,8 +52,12 @@ def run(
     models: list[str] | None = None,
     seed: int = 0,
     use_service: bool = False,
+    serve_concurrency: int = 0,
+    serve_deadline_ms: float = 2.0,
 ) -> dict:
     """Measure wall-clock train/test time per model per dataset."""
+    if serve_concurrency > 0:
+        use_service = True  # the concurrent replay rides on the service
     scale = get_scale(scale_name)
     keys = datasets if datasets is not None else ["pems-bay", "pems-07", "pems-08", "melbourne"]
     model_names = models if models is not None else ["GE-GAN", "IGNNK", "INCREASE", "STSM"]
@@ -104,6 +115,50 @@ def run(
                 row["_warm_seconds"] = warm
                 row.update(service_columns(service.stats))
                 row["_service"] = service.stats
+            if service is not None and serve_concurrency > 0:
+                from ..serving import LoadGenerator, LoadSpec, MicroBatchScheduler
+
+                # Layer a micro-batching scheduler over the (warm)
+                # service and hammer it from concurrent client threads
+                # replaying Zipf traffic over the same window pool.
+                load_spec = LoadSpec(
+                    num_threads=serve_concurrency,
+                    requests_per_thread=max(len(starts), 16),
+                    seed=seed,
+                )
+                generator = LoadGenerator([int(s) for s in starts], load_spec)
+                # The scheduler wraps the service the serial repeats
+                # already exercised; snapshot its counters so the
+                # concurrent leg can be reported as a delta rather than
+                # conflated with the warm-up traffic.
+                before = {
+                    k: v
+                    for k, v in service.stats.items()
+                    if isinstance(v, (int, float)) and k != "cache_hit_pct"
+                }
+                # Context manager: a predict failure mid-replay must not
+                # leak the worker thread.
+                with MicroBatchScheduler(
+                    service,
+                    deadline_ms=serve_deadline_ms,
+                    name=f"table5[{model_name}]",
+                ) as scheduler:
+                    report = generator.run(
+                        lambda s: scheduler.submit(s).result(), collect_results=False
+                    )
+                after = service.stats
+                delta = {k: after[k] - value for k, value in before.items()}
+                delta["cache_hit_pct"] = (
+                    100.0 * delta["cache_hits"] / delta["requests"]
+                    if delta["requests"] else 0.0
+                )
+                load_summary = report.summary()
+                row.update(latency_columns(load_summary))
+                row["_serve"] = {
+                    "load": load_summary,
+                    "scheduler": scheduler.stats,
+                    "service_delta": delta,
+                }
             rows.append(row)
     rows_for_text = [
         {k: v for k, v in row.items() if not k.startswith("_")} for row in rows

@@ -1,11 +1,37 @@
-"""Serving layer: batched, cached forecasting on top of fitted models.
+"""Serving layer: batched, cached, scheduled forecasting on fitted models.
 
-The first brick of the production-scale system the ROADMAP aims at:
-:class:`ForecastService` owns a fitted :class:`~repro.interfaces.Forecaster`,
-coalesces many window-start requests into batched ``predict`` calls, and
-LRU-caches per-window results so repeated traffic never recomputes.
+Three bricks toward the production system the ROADMAP aims at:
+
+* :class:`ForecastService` — owns one fitted
+  :class:`~repro.interfaces.Forecaster`, coalesces window-start requests
+  into batched ``predict`` calls, and LRU-caches per-window results so
+  repeated traffic never recomputes.
+* :class:`MicroBatchScheduler` — accepts requests from many threads,
+  micro-batches them (deadline + max-batch triggers) behind a bounded
+  admission-controlled queue, and drains through the service on one
+  background worker so concurrent callers batch with each other.
+* :class:`ServingRuntime` — hosts many named fitted models (one
+  scheduler each), routes requests by model key, and aggregates
+  per-model latency/throughput/cache telemetry.
+
+:mod:`repro.serving.loadgen` drives any of them with deterministic
+seeded-Zipf multi-threaded traffic for benchmarking.
 """
 
+from .loadgen import LoadGenerator, LoadReport, LoadSpec
+from .runtime import ServingRuntime
+from .scheduler import AsyncForecast, LatencyRecorder, MicroBatchScheduler, QueueFull
 from .service import ForecastHandle, ForecastService
 
-__all__ = ["ForecastHandle", "ForecastService"]
+__all__ = [
+    "AsyncForecast",
+    "ForecastHandle",
+    "ForecastService",
+    "LatencyRecorder",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadSpec",
+    "MicroBatchScheduler",
+    "QueueFull",
+    "ServingRuntime",
+]

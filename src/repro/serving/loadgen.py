@@ -1,0 +1,226 @@
+"""Deterministic multi-threaded load generator for the serving layer.
+
+Real forecast traffic is skewed: a few popular windows (the current
+time step, dashboard defaults) dominate, with a long tail of one-off
+queries.  The generator models that with a **seeded Zipf** popularity
+law over a request pool: item at popularity rank ``r`` (1-based) is
+drawn with probability proportional to ``r ** -zipf_exponent``.
+
+Determinism contract: the per-thread request *sequences* (and, when
+pacing is enabled, the inter-arrival gaps) are pure functions of
+``(seed, thread index)`` via ``np.random.default_rng([seed, tid])`` —
+rerunning a benchmark replays byte-identical request streams.  Only the
+OS thread interleaving varies between runs, which is exactly the
+nondeterminism a serving benchmark is supposed to absorb.
+
+The generator is transport-agnostic: ``run(serve_fn)`` drives any
+callable from ``request item -> result array``, so the same schedule
+can hammer a :class:`~repro.serving.MicroBatchScheduler`, a
+:class:`~repro.serving.ServingRuntime` route, or a plain locked
+``model.predict`` baseline — the comparison the load benchmark reports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "LoadSpec",
+    "build_schedule",
+    "latency_summary",
+    "zipf_probabilities",
+]
+
+
+def latency_summary(seconds: Sequence[float] | np.ndarray) -> dict:
+    """Millisecond percentile summary of a latency sample (one shape
+    everywhere: the scheduler's recorder and load reports emit it)."""
+    sample = np.asarray(seconds, dtype=float)
+    if sample.size == 0:
+        return {"count": 0, "p50_ms": None, "p95_ms": None, "p99_ms": None,
+                "mean_ms": None, "max_ms": None}
+    ms = sample * 1e3
+    p50, p95, p99 = np.percentile(ms, [50.0, 95.0, 99.0])
+    return {
+        "count": int(sample.size),
+        "p50_ms": float(p50),
+        "p95_ms": float(p95),
+        "p99_ms": float(p99),
+        "mean_ms": float(ms.mean()),
+        "max_ms": float(ms.max()),
+    }
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of the synthetic request stream.
+
+    ``arrival_rate_hz`` is a *per-thread* mean open-loop arrival rate
+    (seeded exponential inter-arrival gaps); ``None`` runs closed-loop —
+    each thread fires its next request the moment the previous one
+    completes, which measures saturated throughput.
+    """
+
+    num_threads: int = 8
+    requests_per_thread: int = 100
+    zipf_exponent: float = 1.1
+    seed: int = 0
+    arrival_rate_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {self.num_threads}")
+        if self.requests_per_thread < 1:
+            raise ValueError(
+                f"requests_per_thread must be >= 1, got {self.requests_per_thread}"
+            )
+        if self.zipf_exponent < 0:
+            raise ValueError(f"zipf_exponent must be >= 0, got {self.zipf_exponent}")
+        if self.arrival_rate_hz is not None and self.arrival_rate_hz <= 0:
+            raise ValueError(
+                f"arrival_rate_hz must be positive, got {self.arrival_rate_hz}"
+            )
+
+
+def zipf_probabilities(num_items: int, exponent: float) -> np.ndarray:
+    """Zipf popularity over ``num_items`` ranks (rank 0 most popular)."""
+    if num_items < 1:
+        raise ValueError(f"num_items must be >= 1, got {num_items}")
+    weights = np.arange(1, num_items + 1, dtype=float) ** -float(exponent)
+    return weights / weights.sum()
+
+
+def build_schedule(pool: Sequence, spec: LoadSpec) -> list[list]:
+    """Per-thread request sequences, deterministic in ``(seed, thread)``.
+
+    ``pool`` order is popularity order: ``pool[0]`` is the hottest item.
+    Returns ``spec.num_threads`` lists of ``spec.requests_per_thread``
+    pool items (not indices), ready for :meth:`LoadGenerator.run`.
+    """
+    pool = list(pool)
+    probabilities = zipf_probabilities(len(pool), spec.zipf_exponent)
+    schedule: list[list] = []
+    for tid in range(spec.num_threads):
+        rng = np.random.default_rng([spec.seed, tid])
+        picks = rng.choice(len(pool), size=spec.requests_per_thread, p=probabilities)
+        schedule.append([pool[int(i)] for i in picks])
+    return schedule
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run: counts, wall time, client-side latency."""
+
+    num_threads: int
+    num_requests: int
+    elapsed_seconds: float
+    #: Per-thread list of ``(item, result)`` pairs in issue order.
+    results: list[list[tuple]] = field(repr=False, default_factory=list)
+    #: Client-observed seconds per request, pooled over threads.
+    latencies: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.num_requests / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    @property
+    def latency_ms(self) -> dict:
+        return latency_summary(self.latencies)
+
+    def summary(self) -> dict:
+        return {
+            "num_threads": self.num_threads,
+            "num_requests": self.num_requests,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency_ms,
+        }
+
+
+class LoadGenerator:
+    """Drive a serve callable with a deterministic multi-threaded schedule."""
+
+    def __init__(self, pool: Sequence, spec: LoadSpec) -> None:
+        self.spec = spec
+        self.schedule = build_schedule(pool, spec)
+
+    def run(
+        self,
+        serve_fn: Callable[[object], np.ndarray],
+        collect_results: bool = True,
+    ) -> LoadReport:
+        """Replay the schedule from ``spec.num_threads`` threads.
+
+        All threads release together on a barrier; each issues its
+        sequence (optionally paced by seeded exponential gaps against an
+        absolute timeline, so pacing does not drift with service time)
+        and records client-observed latency per request.  Any worker
+        exception is re-raised here after all threads join.
+        """
+        spec = self.spec
+        barrier = threading.Barrier(spec.num_threads + 1)
+        results: list[list[tuple]] = [[] for _ in range(spec.num_threads)]
+        latencies: list[np.ndarray] = [None] * spec.num_threads
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def client(tid: int) -> None:
+            try:
+                # Setup inside the try: a failure here must still abort
+                # the barrier, or run() would hang waiting on it.
+                sequence = self.schedule[tid]
+                gaps = None
+                if spec.arrival_rate_hz is not None:
+                    rng = np.random.default_rng([spec.seed, tid, 1])
+                    gaps = np.cumsum(
+                        rng.exponential(1.0 / spec.arrival_rate_hz, size=len(sequence))
+                    )
+                observed = np.empty(len(sequence))
+                barrier.wait()
+                thread_began = time.perf_counter()
+                for i, item in enumerate(sequence):
+                    if gaps is not None:
+                        lag = thread_began + gaps[i] - time.perf_counter()
+                        if lag > 0:
+                            time.sleep(lag)
+                    began = time.perf_counter()
+                    value = serve_fn(item)
+                    observed[i] = time.perf_counter() - began
+                    if collect_results:
+                        results[tid].append((item, value))
+                latencies[tid] = observed
+            except BaseException as exc:  # noqa: BLE001 — reported to caller
+                with errors_lock:
+                    errors.append(exc)
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=client, args=(tid,), name=f"loadgen-{tid}")
+            for tid in range(spec.num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:
+            pass
+        began = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - began
+        if errors:
+            raise errors[0]
+        return LoadReport(
+            num_threads=spec.num_threads,
+            num_requests=spec.num_threads * spec.requests_per_thread,
+            elapsed_seconds=elapsed,
+            results=results,
+            latencies=np.concatenate([obs for obs in latencies if obs is not None]),
+        )

@@ -1,0 +1,193 @@
+"""Multi-model serving runtime: named forecasters behind one front door.
+
+The paper evaluates across several regions and datasets at once; a
+production deployment of this system hosts one fitted forecaster per
+(region, dataset, backend) combination, not one.  :class:`ServingRuntime`
+is that host: models register under string keys, each gets its own
+:class:`~repro.serving.MicroBatchScheduler` (so one hot model's queue
+cannot head-of-line-block another's), and requests route by key.
+
+Lifecycle per model: ``register`` (builds the scheduler, model must be
+fitted) → optional ``warm_up`` (pre-populates the result cache through
+the real serving path) → traffic via ``submit``/``forecast`` →
+``drain`` (barrier: all accepted requests served) → runtime-wide
+``shutdown``.  The runtime is a context manager; exiting shuts every
+scheduler down.
+
+``stats()`` aggregates per-model serving telemetry — throughput,
+p50/p95/p99 latency, queue depth, batch shape, cache-hit rate — plus a
+``totals`` rollup, ready for the load benchmark's report and the timing
+tables.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..interfaces import Forecaster
+from .scheduler import AsyncForecast, MicroBatchScheduler
+from .service import ForecastService
+
+__all__ = ["ServingRuntime"]
+
+
+class ServingRuntime:
+    """Host many fitted forecasters and route requests by model key.
+
+    Constructor arguments become the default scheduler settings for
+    every registered model; :meth:`register` accepts per-model
+    overrides (a region with spiky traffic can run a deeper queue or a
+    ``reject`` admission policy without affecting the others).
+    """
+
+    def __init__(
+        self,
+        *,
+        deadline_ms: float = 2.0,
+        max_batch: int = 64,
+        max_queue: int = 1024,
+        admission: str = "block",
+        cache_size: int | None = None,
+        log_batches: bool = False,
+    ) -> None:
+        self._defaults = {
+            "deadline_ms": deadline_ms,
+            "max_batch": max_batch,
+            "max_queue": max_queue,
+            "admission": admission,
+            "cache_size": cache_size,
+            "log_batches": log_batches,
+        }
+        self._schedulers: dict[str, MicroBatchScheduler] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        key: str,
+        forecaster: Forecaster | ForecastService,
+        **overrides,
+    ) -> MicroBatchScheduler:
+        """Host ``forecaster`` (fitted) under ``key``; returns its scheduler."""
+        key = str(key)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("runtime is shut down")
+            if key in self._schedulers:
+                raise ValueError(f"model key {key!r} is already registered")
+            settings = {**self._defaults, **overrides}
+            if isinstance(forecaster, ForecastService) and "cache_size" not in overrides:
+                # A pre-built service owns its cache; only an explicit
+                # per-model override should reach (and fail) the
+                # scheduler's incompatibility check.
+                settings.pop("cache_size", None)
+            scheduler = MicroBatchScheduler(forecaster, name=f"serve[{key}]", **settings)
+            self._schedulers[key] = scheduler
+            return scheduler
+
+    def scheduler(self, key: str) -> MicroBatchScheduler:
+        with self._lock:
+            try:
+                return self._schedulers[key]
+            except KeyError:
+                raise KeyError(
+                    f"unknown model key {key!r}; registered: {sorted(self._schedulers)}"
+                ) from None
+
+    @property
+    def models(self) -> list[str]:
+        with self._lock:
+            return sorted(self._schedulers)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._schedulers
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def submit(self, key: str, start: int) -> AsyncForecast:
+        """Route one window-start request to the model hosted as ``key``."""
+        return self.scheduler(key).submit(start)
+
+    def forecast(self, key: str, window_starts: np.ndarray) -> np.ndarray:
+        """Synchronous batched forecasts from one hosted model."""
+        return self.scheduler(key).forecast(window_starts)
+
+    def warm_up(self, key: str, window_starts: np.ndarray) -> int:
+        """Pre-populate a model's result cache through the serving path.
+
+        Runs the windows through the model's own scheduler (same
+        batching, same flush ordering), so warmed entries are bitwise
+        the entries live traffic would have produced.  Returns the
+        number of windows now cached.
+        """
+        scheduler = self.scheduler(key)
+        window_starts = np.asarray(window_starts, dtype=int).ravel()
+        if window_starts.size:
+            handles = [scheduler.submit(int(s)) for s in window_starts]
+            for handle in handles:
+                handle.result()
+        return len(scheduler.service._results)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, key: str | None = None, timeout: float | None = None) -> bool:
+        """Barrier until accepted requests are served (one model or all)."""
+        if key is not None:
+            return self.scheduler(key).drain(timeout)
+        ok = True
+        for scheduler in self._snapshot():
+            ok = scheduler.drain(timeout) and ok
+        return ok
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut down every hosted scheduler.  Idempotent."""
+        with self._lock:
+            self._closed = True
+        for scheduler in self._snapshot():
+            scheduler.shutdown(drain=drain, timeout=timeout)
+
+    def _snapshot(self) -> list[MicroBatchScheduler]:
+        with self._lock:
+            return list(self._schedulers.values())
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self, key: str | None = None) -> dict:
+        """Serving telemetry for one model, or all models plus totals."""
+        if key is not None:
+            return self.scheduler(key).stats
+        with self._lock:
+            per_model = {k: s.stats for k, s in self._schedulers.items()}
+        totals = {
+            "models": len(per_model),
+            "submitted": sum(s["submitted"] for s in per_model.values()),
+            "completed": sum(s["completed"] for s in per_model.values()),
+            "rejected": sum(s["rejected"] for s in per_model.values()),
+            "failed": sum(s["failed"] for s in per_model.values()),
+            "batches": sum(s["batches"] for s in per_model.values()),
+            "queue_depth": sum(s["queue_depth"] for s in per_model.values()),
+            "cache_hits": sum(s["service"]["cache_hits"] for s in per_model.values()),
+            "windows_computed": sum(
+                s["service"]["windows_computed"] for s in per_model.values()
+            ),
+        }
+        requests = sum(s["service"]["requests"] for s in per_model.values())
+        totals["cache_hit_pct"] = (
+            100.0 * totals["cache_hits"] / requests if requests else 0.0
+        )
+        return {"models": per_model, "totals": totals}

@@ -30,7 +30,9 @@ a property of the model's own ``predict``, not of the service.)
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 
 import numpy as np
 
@@ -40,6 +42,11 @@ from ..interfaces import Forecaster
 __all__ = ["ForecastHandle", "ForecastService"]
 
 _MISSING = object()
+
+#: Bound on the batch-composition log: parity replay certification
+#: (bench_serving_load) is only sound for runs issuing fewer predict
+#: calls than this.
+BATCH_LOG_MAXLEN = 4096
 
 
 class ForecastHandle:
@@ -63,15 +70,29 @@ class ForecastHandle:
         value = self._service._results.get(self.start, _MISSING)
         if value is _MISSING:
             # Evicted between flush and pickup (cache smaller than the
-            # flush) — recompute just this window.
-            self._service._pending[self.start] = None
-            self._service.flush()
-            value = self._service._results.get(self.start)
+            # flush) — recompute just this window.  Under the service
+            # lock: a bare _pending insert could land mid-iteration of a
+            # concurrent flush's pending sweep.
+            with self._service._lock:
+                self._service._pending[self.start] = None
+                self._service.flush()
+                value = self._service._results.get(self.start, _MISSING)
+        if value is _MISSING:
+            # Evicted *again* (adversarially small or shared cache that
+            # dropped the refetch before pickup).  Compute the window
+            # directly and hand the block back without a cache
+            # round-trip, so result() can never return None.
+            value = self._service.compute_one(self.start)
         return value
 
 
 class ForecastService:
     """Coalesce window-start requests into batched, cached predictions.
+
+    Thread-safe: an internal reentrant lock serialises intake and
+    flushes, so a :class:`~repro.serving.MicroBatchScheduler` worker and
+    direct callers can safely share one service (direct ``forecast``
+    calls then simply serialise behind in-progress flushes).
 
     Parameters
     ----------
@@ -90,6 +111,19 @@ class ForecastService:
         reseed couples outputs to batch position); when False the service
         still caches but issues one single-window ``predict`` per miss so
         cached results always equal the per-window ground truth.
+    cache:
+        Optionally share an existing :class:`~repro.engine.LRUCache`
+        (e.g. between a scheduler-fronted service and a direct one over
+        the same model).  The engine cache is thread-safe, so sharing
+        across threads is sound; when given, ``cache_size`` is ignored.
+    log_batches:
+        Record the window-start batch of every issued ``predict`` call
+        in :attr:`batch_log` (a bounded deque keeping the most recent
+        4096 batches, so long-running services cannot grow it without
+        bound).  The serving load benchmark replays this log through the
+        model directly to certify that every served byte is bitwise a
+        direct-``predict`` byte; replay certification therefore needs
+        the run to stay under the bound.
     """
 
     def __init__(
@@ -98,6 +132,8 @@ class ForecastService:
         cache_size: int = 256,
         max_batch_size: int = 64,
         stateless_predict: bool | None = None,
+        cache: LRUCache | None = None,
+        log_batches: bool = False,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -109,7 +145,18 @@ class ForecastService:
         if stateless_predict is None:
             stateless_predict = getattr(forecaster, "stateless_predict", True)
         self.stateless_predict = stateless_predict
-        self._results = LRUCache(maxsize=cache_size)
+        self._results = cache if cache is not None else LRUCache(maxsize=cache_size)
+        #: Window-start composition of recent predict calls, when
+        #: ``log_batches`` is on (parity replay for the load benchmark).
+        self.batch_log: deque[np.ndarray] | None = None
+        if log_batches:
+            self.enable_batch_log()
+        # Serialises intake (pending set, counters) and flush: a
+        # scheduler worker and direct callers can safely share one
+        # service.  Reentrant so forecast() -> submit()/flush() nests,
+        # which also makes a whole forecast() call atomic against other
+        # threads' flushes.
+        self._lock = threading.RLock()
         # Insertion-ordered pending set: O(1) membership for coalescing.
         self._pending: dict[int, None] = {}
         # Telemetry for benchmarks and capacity planning.
@@ -128,13 +175,14 @@ class ForecastService:
     def submit(self, start: int) -> ForecastHandle:
         """Enqueue one window-start request; batched at the next flush."""
         start = int(start)
-        self.requests += 1
-        if start in self._results:
-            self.cache_hits += 1
-        elif start in self._pending:
-            self.coalesced += 1
-        else:
-            self._pending[start] = None
+        with self._lock:
+            self.requests += 1
+            if start in self._results:
+                self.cache_hits += 1
+            elif start in self._pending:
+                self.coalesced += 1
+            else:
+                self._pending[start] = None
         return ForecastHandle(self, start)
 
     def flush(self) -> int:
@@ -145,25 +193,53 @@ class ForecastService:
         regardless of request arrival order), chunked to
         ``max_batch_size`` and dispatched to the model.
         """
-        missing = sorted({s for s in self._pending if s not in self._results})
-        self._pending.clear()
-        if not missing:
-            return 0
-        chunk = 1 if not self.stateless_predict else self.max_batch_size
-        computed = 0
-        for begin in range(0, len(missing), chunk):
-            batch = np.asarray(missing[begin : begin + chunk], dtype=int)
-            began = time.perf_counter()
-            block = self.forecaster.predict(batch)
-            self.predict_seconds += time.perf_counter() - began
-            self.predict_calls += 1
-            for row, start in enumerate(batch):
-                # Copy: caching a view would pin the whole batch block
-                # in memory for as long as any one row stays cached.
-                self._results.put(int(start), block[row].copy())
-            computed += len(batch)
-        self.windows_computed += computed
-        return computed
+        with self._lock:
+            missing = sorted({s for s in self._pending if s not in self._results})
+            self._pending.clear()
+            if not missing:
+                return 0
+            chunk = 1 if not self.stateless_predict else self.max_batch_size
+            computed = 0
+            for begin in range(0, len(missing), chunk):
+                batch = np.asarray(missing[begin : begin + chunk], dtype=int)
+                block = self._predict_batch(batch)
+                for row, start in enumerate(batch):
+                    # Copy: caching a view would pin the whole batch block
+                    # in memory for as long as any one row stays cached.
+                    self._results.put(int(start), block[row].copy())
+                computed += len(batch)
+            self.windows_computed += computed
+            return computed
+
+    def _predict_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Issue one timed, logged ``predict`` call over ``batch``."""
+        began = time.perf_counter()
+        block = self.forecaster.predict(batch)
+        self.predict_seconds += time.perf_counter() - began
+        self.predict_calls += 1
+        if self.batch_log is not None:
+            self.batch_log.append(batch.copy())
+        return block
+
+    def enable_batch_log(self) -> None:
+        """Start recording predict-batch compositions (idempotent)."""
+        if self.batch_log is None:
+            self.batch_log = deque(maxlen=BATCH_LOG_MAXLEN)
+
+    def compute_one(self, start: int) -> np.ndarray:
+        """Compute one window directly, bypassing the cache round-trip.
+
+        The block is still written to the cache for future hits, but the
+        return value does not depend on it surviving there — the
+        eviction-proof fallback for :meth:`ForecastHandle.result`.
+        """
+        start = int(start)
+        with self._lock:
+            block = self._predict_batch(np.asarray([start], dtype=int))
+            value = block[0].copy()
+            self.windows_computed += 1
+        self._results.put(start, value)
+        return value
 
     # ------------------------------------------------------------------
     # Synchronous convenience API
@@ -177,21 +253,34 @@ class ForecastService:
         ``predict`` calls.
         """
         window_starts = np.asarray(window_starts, dtype=int).ravel()
-        handles = [self.submit(int(s)) for s in window_starts]
-        self.flush()
-        if not handles:
+        if window_starts.size == 0:
+            # Validate *before* touching service state: an empty request
+            # must not flush (and thus reorder) other callers' pending
+            # submissions as a side effect of raising.
             raise ValueError("forecast() needs at least one window start")
-        return np.stack([h.result() for h in handles], axis=0)
+        with self._lock:  # atomic: no interleaved flush can split the batch
+            handles = [self.submit(int(s)) for s in window_starts]
+            self.flush()
+            return np.stack([h.result() for h in handles], axis=0)
 
     @property
     def stats(self) -> dict:
-        """Service counters plus the underlying result-cache stats."""
+        """Service counters plus the underlying result-cache stats.
+
+        Deliberately lock-free: the intake lock is held across flushes
+        (i.e. across model ``predict`` calls), and telemetry reads must
+        not block behind a slow model.  Individual counter reads are
+        atomic in CPython; a snapshot taken mid-flush may be a few
+        requests stale, which monitoring tolerates.
+        """
+        requests = self.requests
         return {
-            "requests": self.requests,
+            "requests": requests,
             "predict_calls": self.predict_calls,
             "windows_computed": self.windows_computed,
             "predict_seconds": self.predict_seconds,
             "cache_hits": self.cache_hits,
+            "cache_hit_pct": 100.0 * self.cache_hits / requests if requests else 0.0,
             "coalesced": self.coalesced,
             "cache": self._results.stats,
         }

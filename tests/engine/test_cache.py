@@ -69,6 +69,71 @@ class TestLRUCache:
         assert cache.stats == {"hits": 0, "misses": 0, "size": 0}
 
 
+class TestLRUCacheThreadSafety:
+    def test_concurrent_get_put_hammer(self):
+        """Many threads mutating one bounded cache: consistent, bounded, correct."""
+        import threading
+
+        cache = LRUCache(maxsize=16)
+        errors = []
+
+        def worker(tid: int) -> None:
+            try:
+                rng = np.random.default_rng(tid)
+                for _ in range(800):
+                    key = int(rng.integers(0, 48))
+                    value = cache.get(key)
+                    if value is not None and value != key * 2:
+                        raise AssertionError(f"corrupt value for {key}: {value}")
+                    cache.put(key, key * 2)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(tid,)) for tid in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] == 8 * 800
+
+    def test_concurrent_get_or_compute_single_winner(self):
+        """Racing misses on one key all observe the same stored value."""
+        import threading
+
+        cache = LRUCache(maxsize=4)
+        barrier = threading.Barrier(6)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker(tid: int) -> None:
+            barrier.wait()
+            value = cache.get_or_compute("k", lambda: ("value-of", tid))
+            with lock:
+                outcomes.append(value)
+
+        threads = [threading.Thread(target=worker, args=(tid,)) for tid in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 6
+        # One winner: every thread adopted the first value stored.
+        assert len(set(outcomes)) == 1
+        assert cache.get("k") == outcomes[0]
+
+    def test_single_thread_semantics_unchanged(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get_or_compute("a", lambda: 1) == 1
+        assert cache.get_or_compute("a", lambda: 2) == 1  # cached
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a" (LRU)
+        assert "a" not in cache
+        assert len(cache) == 2
+
+
 class TestPairwiseDTWCache:
     def _profiles(self, n=6, t=16, seed=0):
         return np.random.default_rng(seed).normal(size=(n, t))

@@ -1,0 +1,118 @@
+"""Load generator: deterministic schedules, Zipf skew, threaded execution."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import LoadGenerator, LoadSpec
+from repro.serving.loadgen import build_schedule, zipf_probabilities
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one_and_decay(self):
+        p = zipf_probabilities(20, 1.1)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) < 0)  # strictly less popular with rank
+
+    def test_zero_exponent_is_uniform(self):
+        p = zipf_probabilities(8, 0.0)
+        assert np.allclose(p, 1.0 / 8)
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        spec = LoadSpec(num_threads=4, requests_per_thread=50, seed=9)
+        a = build_schedule(list(range(10)), spec)
+        b = build_schedule(list(range(10)), spec)
+        assert a == b
+
+    def test_different_seed_different_schedule(self):
+        pool = list(range(10))
+        a = build_schedule(pool, LoadSpec(num_threads=2, requests_per_thread=50, seed=1))
+        b = build_schedule(pool, LoadSpec(num_threads=2, requests_per_thread=50, seed=2))
+        assert a != b
+
+    def test_threads_draw_distinct_streams(self):
+        spec = LoadSpec(num_threads=2, requests_per_thread=50, seed=4)
+        schedule = build_schedule(list(range(10)), spec)
+        assert schedule[0] != schedule[1]
+
+    def test_zipf_skew_favours_hot_items(self):
+        spec = LoadSpec(num_threads=4, requests_per_thread=200, zipf_exponent=1.3, seed=0)
+        schedule = build_schedule(list(range(16)), spec)
+        flat = [item for seq in schedule for item in seq]
+        counts = np.bincount(np.asarray(flat), minlength=16)
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[8]
+
+    def test_pool_items_passed_through(self):
+        spec = LoadSpec(num_threads=1, requests_per_thread=20, seed=0)
+        schedule = build_schedule([("model-a", 3), ("model-b", 5)], spec)
+        assert set(schedule[0]) <= {("model-a", 3), ("model-b", 5)}
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            LoadSpec(num_threads=0)
+        with pytest.raises(ValueError):
+            LoadSpec(requests_per_thread=0)
+        with pytest.raises(ValueError):
+            LoadSpec(zipf_exponent=-0.1)
+        with pytest.raises(ValueError):
+            LoadSpec(arrival_rate_hz=0.0)
+
+
+class TestRun:
+    def test_run_collects_results_and_latencies(self):
+        spec = LoadSpec(num_threads=3, requests_per_thread=15, seed=6)
+        generator = LoadGenerator(list(range(5)), spec)
+        seen_threads = set()
+
+        def serve(item):
+            seen_threads.add(threading.current_thread().name)
+            return np.full((2, 2), float(item))
+
+        report = generator.run(serve)
+        assert report.num_requests == 45
+        assert len(seen_threads) == 3
+        assert report.latencies.shape == (45,)
+        for tid, per_thread in enumerate(report.results):
+            assert [item for item, _ in per_thread] == generator.schedule[tid]
+            for item, value in per_thread:
+                assert np.array_equal(value, np.full((2, 2), float(item)))
+        summary = report.summary()
+        assert summary["throughput_rps"] > 0
+        assert summary["latency"]["p50_ms"] <= summary["latency"]["p99_ms"]
+
+    def test_collect_results_off_keeps_latencies(self):
+        spec = LoadSpec(num_threads=2, requests_per_thread=10, seed=0)
+        report = LoadGenerator([1, 2, 3], spec).run(
+            lambda item: np.zeros(1), collect_results=False
+        )
+        assert report.results == [[], []]
+        assert report.latencies.shape == (20,)
+
+    def test_worker_exception_propagates(self):
+        spec = LoadSpec(num_threads=2, requests_per_thread=5, seed=0)
+
+        def explode(item):
+            raise ValueError("serve failed")
+
+        with pytest.raises(ValueError, match="serve failed"):
+            LoadGenerator([1], spec).run(explode)
+
+    def test_paced_arrivals_slow_the_run(self):
+        fast = LoadGenerator(
+            [0], LoadSpec(num_threads=1, requests_per_thread=10, seed=0)
+        ).run(lambda item: np.zeros(1))
+        paced = LoadGenerator(
+            [0],
+            LoadSpec(num_threads=1, requests_per_thread=10, seed=0, arrival_rate_hz=200.0),
+        ).run(lambda item: np.zeros(1))
+        assert paced.elapsed_seconds > fast.elapsed_seconds

@@ -1,0 +1,160 @@
+"""ServingRuntime: multi-model routing, lifecycle, aggregated stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interfaces import FitReport, Forecaster
+from repro.serving import LoadGenerator, LoadSpec, ServingRuntime
+
+
+class _KeyedForecaster(Forecaster):
+    """Toy model whose outputs are tagged by a per-model scale."""
+
+    name = "keyed"
+
+    def __init__(self, scale: float) -> None:
+        self.scale = scale
+
+    def fit(self, dataset, split, spec, train_steps) -> FitReport:
+        return FitReport()
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        window_starts = np.asarray(window_starts, dtype=int)
+        grid = np.zeros((2, 3))
+        return window_starts[:, None, None] * self.scale + grid[None]
+
+
+class _UnfittedForecaster(Forecaster):
+    name = "unfitted"
+    _fitted = False
+
+    def fit(self, dataset, split, spec, train_steps) -> FitReport:
+        return FitReport()
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        raise AssertionError("never reached")
+
+
+class TestRouting:
+    def test_requests_route_by_model_key(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("bay", _KeyedForecaster(1000.0))
+            runtime.register("mel", _KeyedForecaster(7.0))
+            assert runtime.models == ["bay", "mel"]
+            assert "bay" in runtime and "missing" not in runtime
+            bay = runtime.forecast("bay", np.array([3]))
+            mel = runtime.forecast("mel", np.array([3]))
+            assert bay[0, 0, 0] == pytest.approx(3000.0)
+            assert mel[0, 0, 0] == pytest.approx(21.0)
+
+    def test_unknown_key_raises_with_candidates(self):
+        with ServingRuntime() as runtime:
+            runtime.register("bay", _KeyedForecaster(1.0))
+            with pytest.raises(KeyError, match=r"unknown model key 'nope'.*bay"):
+                runtime.submit("nope", 0)
+
+    def test_duplicate_key_rejected(self):
+        with ServingRuntime() as runtime:
+            runtime.register("bay", _KeyedForecaster(1.0))
+            with pytest.raises(ValueError, match="already registered"):
+                runtime.register("bay", _KeyedForecaster(2.0))
+
+    def test_unfitted_model_rejected_at_register(self):
+        with ServingRuntime() as runtime:
+            with pytest.raises(RuntimeError):
+                runtime.register("bad", _UnfittedForecaster())
+
+    def test_register_accepts_prebuilt_service(self):
+        from repro.serving import ForecastService
+
+        service = ForecastService(_KeyedForecaster(5.0), cache_size=8)
+        with ServingRuntime(deadline_ms=1.0, cache_size=128) as runtime:
+            scheduler = runtime.register("bay", service)
+            assert scheduler.service is service
+            assert runtime.forecast("bay", np.array([2]))[0, 0, 0] == pytest.approx(10.0)
+            # An explicit per-model cache_size override still surfaces
+            # the incompatibility.
+            with pytest.raises(ValueError, match="cache_size"):
+                runtime.register(
+                    "other", ForecastService(_KeyedForecaster(1.0)), cache_size=16
+                )
+
+    def test_per_model_scheduler_overrides(self):
+        with ServingRuntime(max_queue=1024) as runtime:
+            scheduler = runtime.register(
+                "bay", _KeyedForecaster(1.0), max_queue=3, admission="reject"
+            )
+            assert scheduler.max_queue == 3
+            assert scheduler.admission == "reject"
+
+
+class TestLifecycle:
+    def test_warm_up_populates_cache_through_serving_path(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("bay", _KeyedForecaster(10.0))
+            cached = runtime.warm_up("bay", np.arange(6))
+            assert cached == 6
+            runtime.forecast("bay", np.arange(6))  # all warm now
+            stats = runtime.stats("bay")
+            assert stats["service"]["cache_hits"] >= 6
+
+    def test_drain_all_models(self):
+        with ServingRuntime(deadline_ms=5.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+            runtime.register("b", _KeyedForecaster(2.0))
+            handles = [runtime.submit("a", s) for s in range(4)]
+            handles += [runtime.submit("b", s) for s in range(4)]
+            assert runtime.drain(timeout=10)
+            assert all(h.done() for h in handles)
+
+    def test_shutdown_stops_all_models_and_register(self):
+        runtime = ServingRuntime(deadline_ms=1.0)
+        runtime.register("a", _KeyedForecaster(1.0))
+        runtime.shutdown()
+        with pytest.raises(RuntimeError):
+            runtime.submit("a", 0)
+        with pytest.raises(RuntimeError, match="shut down"):
+            runtime.register("b", _KeyedForecaster(2.0))
+
+    def test_context_manager_shuts_down(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+        with pytest.raises(RuntimeError):
+            runtime.submit("a", 0)
+
+
+class TestStats:
+    def test_per_model_and_total_telemetry(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+            runtime.register("b", _KeyedForecaster(2.0))
+            pool = [("a", s) for s in range(5)] + [("b", s) for s in range(5)]
+            spec = LoadSpec(num_threads=4, requests_per_thread=30, zipf_exponent=1.0, seed=2)
+            LoadGenerator(pool, spec).run(
+                lambda item: runtime.submit(item[0], item[1]).result(),
+                collect_results=False,
+            )
+            runtime.drain()
+            stats = runtime.stats()
+        per_model, totals = stats["models"], stats["totals"]
+        assert set(per_model) == {"a", "b"}
+        assert totals["models"] == 2
+        assert totals["completed"] == 4 * 30
+        assert totals["completed"] == sum(s["completed"] for s in per_model.values())
+        assert totals["cache_hit_pct"] > 0.0
+        for s in per_model.values():
+            latency = s["latency"]
+            assert latency["count"] == s["completed"]
+            assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+            assert s["throughput_rps"] is None or s["throughput_rps"] > 0
+            assert s["queue_depth"] == 0  # drained
+
+    def test_empty_scheduler_latency_summary(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+            stats = runtime.stats("a")
+        assert stats["latency"]["count"] == 0
+        assert stats["latency"]["p50_ms"] is None
+        assert stats["throughput_rps"] is None

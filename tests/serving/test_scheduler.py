@@ -1,0 +1,309 @@
+"""MicroBatchScheduler: batching triggers, backpressure, lifecycle, parity."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import IGNNKForecaster
+from repro.data import WindowSpec, space_split, temporal_split
+from repro.data.synthetic import make_pems_bay
+from repro.evaluation import forecast_window_starts
+from repro.interfaces import FitReport, Forecaster
+from repro.serving import LoadGenerator, LoadSpec, MicroBatchScheduler, QueueFull
+from repro.serving.service import ForecastService
+
+
+class _CountingForecaster(Forecaster):
+    """Deterministic toy model that records every predict() batch."""
+
+    name = "counting"
+
+    def __init__(self, horizon: int = 4, num_unobserved: int = 3) -> None:
+        self.horizon = horizon
+        self.num_unobserved = num_unobserved
+        self.calls: list[np.ndarray] = []
+        self._lock = threading.Lock()
+
+    def fit(self, dataset, split, spec, train_steps) -> FitReport:
+        return FitReport()
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        window_starts = np.asarray(window_starts, dtype=int)
+        with self._lock:
+            self.calls.append(window_starts.copy())
+        grid = np.arange(self.horizon)[:, None] + np.arange(self.num_unobserved)[None, :]
+        return window_starts[:, None, None] * 1000.0 + grid[None]
+
+
+class _GatedForecaster(_CountingForecaster):
+    """Toy model whose first predict call blocks until released."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        self.entered.set()
+        assert self.release.wait(timeout=10), "test forgot to release the gate"
+        return super().predict(window_starts)
+
+
+class _FaultyForecaster(_CountingForecaster):
+    """Raises for one poisoned window start."""
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        if 13 in np.asarray(window_starts, dtype=int):
+            raise RuntimeError("poisoned window")
+        return super().predict(window_starts)
+
+
+class TestBatchingTriggers:
+    def test_forecast_matches_direct_predict(self):
+        model = _CountingForecaster()
+        with MicroBatchScheduler(model, deadline_ms=1.0) as scheduler:
+            out = scheduler.forecast(np.array([5, 3, 5, 9]))
+        expected = _CountingForecaster().predict(np.array([5, 3, 5, 9]))
+        assert np.array_equal(out, expected)
+
+    def test_max_batch_dispatches_before_deadline(self):
+        model = _CountingForecaster()
+        # Deadline far beyond the test timeout: only the max-batch
+        # trigger can dispatch this batch promptly.
+        with MicroBatchScheduler(model, deadline_ms=60_000.0, max_batch=4) as scheduler:
+            handles = [scheduler.submit(s) for s in (4, 1, 3, 2)]
+            results = [h.result(timeout=10) for h in handles]
+            assert results[0][0, 0] == pytest.approx(4000.0)
+            stats = scheduler.stats
+        assert stats["batches"] == 1
+        assert stats["max_batch_observed"] == 4
+        # The one predict call saw the dedup-sorted batch.
+        assert model.calls[0].tolist() == [1, 2, 3, 4]
+
+    def test_deadline_dispatches_partial_batch(self):
+        model = _CountingForecaster()
+        with MicroBatchScheduler(model, deadline_ms=20.0, max_batch=64) as scheduler:
+            began = time.perf_counter()
+            value = scheduler.submit(7).result(timeout=10)
+            elapsed = time.perf_counter() - began
+        assert value[0, 0] == pytest.approx(7000.0)
+        # One lone request is held at most ~deadline before dispatch.
+        assert elapsed < 5.0
+        assert model.calls[0].tolist() == [7]
+
+    def test_repeat_traffic_hits_cache(self):
+        model = _CountingForecaster()
+        with MicroBatchScheduler(model, deadline_ms=1.0) as scheduler:
+            scheduler.forecast(np.array([1, 2, 3]))
+            scheduler.forecast(np.array([3, 2, 1]))
+            stats = scheduler.stats
+        assert stats["service"]["windows_computed"] == 3
+        assert stats["service"]["cache_hits"] >= 3
+
+    def test_direct_caller_shares_service_with_scheduler(self):
+        """Service intake is locked: direct forecast() + worker flushes coexist."""
+        model = _CountingForecaster()
+        service = ForecastService(model, cache_size=64)
+        errors = []
+
+        def direct_caller():
+            try:
+                for i in range(60):
+                    out = service.forecast(np.array([i % 7]))
+                    assert out[0, 0, 0] == pytest.approx((i % 7) * 1000.0)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        with MicroBatchScheduler(service, deadline_ms=1.0) as scheduler:
+            thread = threading.Thread(target=direct_caller)
+            thread.start()
+            for i in range(60):
+                value = scheduler.submit(i % 5).result(timeout=10)
+                assert value[0, 0] == pytest.approx((i % 5) * 1000.0)
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert not errors
+
+    def test_wraps_existing_service(self):
+        model = _CountingForecaster()
+        service = ForecastService(model, cache_size=32)
+        service.forecast(np.array([1, 2]))  # warm directly
+        with MicroBatchScheduler(service, deadline_ms=1.0) as scheduler:
+            assert scheduler.service is service
+            scheduler.forecast(np.array([1, 2]))
+            stats = scheduler.stats
+        # The scheduler served the warm windows from the shared cache.
+        assert stats["service"]["cache_hits"] >= 2
+        assert len(model.calls) == 1
+
+    def test_existing_service_kwargs_coupling(self):
+        service = ForecastService(_CountingForecaster(), cache_size=8)
+        # cache_size cannot retarget an already-sized service cache.
+        with pytest.raises(ValueError, match="cache_size"):
+            MicroBatchScheduler(service, cache_size=16)
+        # log_batches=True enables the parity log on the wrapped service.
+        with MicroBatchScheduler(service, deadline_ms=1.0, log_batches=True) as scheduler:
+            scheduler.forecast(np.array([1, 2]))
+        assert [b.tolist() for b in service.batch_log] == [[1, 2]]
+
+
+class TestAdmissionControl:
+    def test_reject_policy_raises_queue_full(self):
+        model = _GatedForecaster()
+        scheduler = MicroBatchScheduler(
+            model, deadline_ms=0.0, max_batch=1, max_queue=2, admission="reject"
+        )
+        try:
+            first = scheduler.submit(1)  # worker takes it and blocks in predict
+            assert model.entered.wait(timeout=10)
+            queued = [scheduler.submit(2), scheduler.submit(3)]  # fills the queue
+            with pytest.raises(QueueFull):
+                scheduler.submit(4)
+            assert scheduler.stats["rejected"] == 1
+            model.release.set()
+            assert first.result(timeout=10)[0, 0] == pytest.approx(1000.0)
+            assert [h.result(timeout=10)[0, 0] for h in queued] == [2000.0, 3000.0]
+        finally:
+            model.release.set()
+            scheduler.shutdown()
+
+    def test_block_policy_applies_backpressure(self):
+        model = _GatedForecaster()
+        scheduler = MicroBatchScheduler(
+            model, deadline_ms=0.0, max_batch=1, max_queue=1, admission="block"
+        )
+        try:
+            first = scheduler.submit(1)
+            assert model.entered.wait(timeout=10)
+            second = scheduler.submit(2)  # fills the queue
+            third_handle = []
+
+            def blocked_submit():
+                third_handle.append(scheduler.submit(3))
+
+            submitter = threading.Thread(target=blocked_submit)
+            submitter.start()
+            submitter.join(timeout=0.3)
+            assert submitter.is_alive(), "submit should block while the queue is full"
+            model.release.set()
+            submitter.join(timeout=10)
+            assert not submitter.is_alive()
+            for handle, expected in ((first, 1000.0), (second, 2000.0), (third_handle[0], 3000.0)):
+                assert handle.result(timeout=10)[0, 0] == pytest.approx(expected)
+        finally:
+            model.release.set()
+            scheduler.shutdown()
+
+    def test_invalid_parameters_rejected(self):
+        model = _CountingForecaster()
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(model, admission="drop")
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(model, deadline_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(model, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(model, max_queue=0)
+
+    def test_empty_forecast_rejected(self):
+        with MicroBatchScheduler(_CountingForecaster(), deadline_ms=1.0) as scheduler:
+            with pytest.raises(ValueError):
+                scheduler.forecast(np.array([], dtype=int))
+
+
+class TestLifecycle:
+    def test_shutdown_drains_queued_requests(self):
+        model = _CountingForecaster()
+        scheduler = MicroBatchScheduler(model, deadline_ms=50.0)
+        handles = [scheduler.submit(s) for s in range(6)]
+        scheduler.shutdown()  # drain=True: everything queued is served
+        assert all(h.done() for h in handles)
+        assert handles[5].result()[0, 0] == pytest.approx(5000.0)
+        with pytest.raises(RuntimeError):
+            scheduler.submit(7)
+
+    def test_shutdown_is_idempotent(self):
+        scheduler = MicroBatchScheduler(_CountingForecaster(), deadline_ms=1.0)
+        scheduler.shutdown()
+        scheduler.shutdown()
+
+    def test_shutdown_without_drain_fails_queued(self):
+        model = _GatedForecaster()
+        scheduler = MicroBatchScheduler(model, deadline_ms=0.0, max_batch=1)
+        in_flight = scheduler.submit(1)
+        assert model.entered.wait(timeout=10)
+        queued = scheduler.submit(2)
+        scheduler.shutdown(drain=False, timeout=0.5)
+        with pytest.raises(RuntimeError, match="shut down before serving"):
+            queued.result(timeout=10)
+        # The batch already being predicted still completes.
+        model.release.set()
+        assert in_flight.result(timeout=10)[0, 0] == pytest.approx(1000.0)
+
+    def test_drain_is_a_completion_barrier(self):
+        model = _CountingForecaster()
+        with MicroBatchScheduler(model, deadline_ms=5.0) as scheduler:
+            handles = [scheduler.submit(s) for s in range(8)]
+            assert scheduler.drain(timeout=10)
+            assert all(h.done() for h in handles)
+
+    def test_predict_error_fails_batch_but_not_scheduler(self):
+        model = _FaultyForecaster()
+        with MicroBatchScheduler(model, deadline_ms=1.0) as scheduler:
+            poisoned = scheduler.submit(13)
+            with pytest.raises(RuntimeError, match="poisoned"):
+                poisoned.result(timeout=10)
+            # Scheduler survives and serves later traffic.
+            assert scheduler.submit(2).result(timeout=10)[0, 0] == pytest.approx(2000.0)
+            stats = scheduler.stats
+        assert stats["failed"] >= 1
+        assert stats["completed"] >= 1
+
+
+class TestConcurrentParity:
+    def test_threaded_hammer_bitwise_parity_toy(self):
+        """Many submitter threads, mixed hit/miss Zipf traffic, bitwise parity."""
+        model = _CountingForecaster()
+        reference = {
+            s: _CountingForecaster().predict(np.asarray([s]))[0] for s in range(12)
+        }
+        with MicroBatchScheduler(model, deadline_ms=1.0, max_batch=16) as scheduler:
+            spec = LoadSpec(num_threads=8, requests_per_thread=60, zipf_exponent=1.1, seed=3)
+            report = LoadGenerator(list(range(12)), spec).run(
+                lambda s: scheduler.submit(s).result()
+            )
+            scheduler.drain()
+            stats = scheduler.stats
+        for per_thread in report.results:
+            for start, value in per_thread:
+                assert np.array_equal(value, reference[start])
+        assert stats["completed"] == spec.num_threads * spec.requests_per_thread
+        assert stats["service"]["cache_hits"] > 0  # mixed hit/miss traffic
+        # Micro-batching actually happened: far fewer batches than requests.
+        assert stats["batches"] < stats["completed"]
+
+    def test_threaded_hammer_bitwise_parity_ignnk(self):
+        """Real fitted model under concurrent load equals serial direct predict."""
+        dataset = make_pems_bay(num_sensors=18, num_days=2, seed=11)
+        split = space_split(dataset.coords, "horizontal")
+        spec = WindowSpec(input_length=6, horizon=6)
+        train_ix, _ = temporal_split(dataset.num_steps)
+        model = IGNNKForecaster(iterations=5, hidden=8)
+        model.fit(dataset, split, spec, train_ix)
+        starts = forecast_window_starts(dataset, spec, max_windows=10)
+        # IGNNK's predict is batch-composition invariant (asserted in
+        # test_service), so serial per-window calls are the bitwise
+        # reference for any batching the scheduler performs.
+        reference = {int(s): model.predict(np.asarray([s]))[0] for s in starts}
+        with MicroBatchScheduler(model, deadline_ms=2.0) as scheduler:
+            load = LoadSpec(num_threads=8, requests_per_thread=25, zipf_exponent=1.2, seed=5)
+            report = LoadGenerator([int(s) for s in starts], load).run(
+                lambda s: scheduler.submit(s).result()
+            )
+        for per_thread in report.results:
+            for start, value in per_thread:
+                assert np.array_equal(value, reference[start])

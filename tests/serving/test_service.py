@@ -160,6 +160,54 @@ class TestCoalescingAndCaching:
         with pytest.raises(ValueError):
             service.forecast(np.array([], dtype=int))
 
+    def test_empty_request_does_not_flush_pending(self):
+        """Validation happens before intake: no predict, no premature flush."""
+        model = _CountingForecaster()
+        service = ForecastService(model)
+        handle = service.submit(5)
+        with pytest.raises(ValueError):
+            service.forecast(np.array([], dtype=int))
+        assert model.calls == []  # the pending window was not flushed
+        assert not handle.ready
+        assert handle.result()[0, 0] == pytest.approx(5000.0)
+
+    def test_handle_result_survives_adversarial_eviction(self):
+        """result() never returns None, even if every put is evicted."""
+        from repro.engine import LRUCache
+
+        class _NeverStores(LRUCache):
+            def put(self, key, value):
+                pass  # adversarial cache: evicts everything instantly
+
+        model = _CountingForecaster()
+        service = ForecastService(model, cache=_NeverStores(maxsize=4))
+        handle = service.submit(6)
+        value = handle.result()
+        assert value is not None
+        assert value[0, 0] == pytest.approx(6000.0)
+
+    def test_shared_cache_between_services(self):
+        """Two services over one (thread-safe) cache share computed windows."""
+        from repro.engine import LRUCache
+
+        cache = LRUCache(maxsize=32)
+        model_a = _CountingForecaster()
+        model_b = _CountingForecaster()
+        service_a = ForecastService(model_a, cache=cache)
+        service_b = ForecastService(model_b, cache=cache)
+        first = service_a.forecast(np.array([1, 2]))
+        second = service_b.forecast(np.array([2, 1]))
+        assert np.array_equal(first[::-1], second)
+        assert model_a.calls and not model_b.calls  # b served from shared cache
+        assert service_b.cache_hits == 2
+
+    def test_batch_log_records_predict_compositions(self):
+        model = _CountingForecaster()
+        service = ForecastService(model, max_batch_size=2, log_batches=True)
+        service.forecast(np.array([3, 1, 2]))
+        assert [b.tolist() for b in service.batch_log] == [[1, 2], [3]]
+        assert ForecastService(model).batch_log is None  # off by default
+
     def test_unfitted_forecaster_rejected(self):
         model = IGNNKForecaster()
         with pytest.raises(RuntimeError):
