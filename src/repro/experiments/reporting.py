@@ -55,20 +55,23 @@ def service_columns(stats: dict) -> dict:
     }
 
 
-def latency_columns(summary: dict) -> dict:
+def latency_columns(summary: dict, prefix: str = "") -> dict:
     """Concurrent-serving table columns from a ``LoadReport.summary()``.
 
     Used by the Table 5 timing report when ``--serve-concurrency`` replays
     the window traffic through a micro-batching scheduler from many
     client threads: sustained throughput plus client-observed latency
-    percentiles.
+    percentiles.  ``prefix`` namespaces the columns when one row carries
+    several serving paths (``--serve-wire`` adds ``Wire``-prefixed
+    columns next to the scheduler's, so direct / service / scheduler /
+    HTTP read side by side).
     """
     latency = summary.get("latency", {})
     return {
-        "Thr(r/s)": float(summary.get("throughput_rps", 0.0)),
-        "p50(ms)": latency.get("p50_ms"),
-        "p95(ms)": latency.get("p95_ms"),
-        "p99(ms)": latency.get("p99_ms"),
+        f"{prefix}Thr(r/s)": float(summary.get("throughput_rps", 0.0)),
+        f"{prefix}p50(ms)": latency.get("p50_ms"),
+        f"{prefix}p95(ms)": latency.get("p95_ms"),
+        f"{prefix}p99(ms)": latency.get("p99_ms"),
     }
 
 

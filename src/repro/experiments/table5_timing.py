@@ -27,6 +27,13 @@ window traffic from that many concurrent client threads through a
 (already warm) service — sustained throughput and client-observed
 p50/p95/p99 latency join the table via
 :func:`~repro.experiments.reporting.latency_columns`.
+
+``serve_wire=True`` (with ``serve_concurrency``) replays the same
+concurrent traffic once more over real HTTP: the scheduler is hosted in
+an in-process :class:`~repro.serving.transport.ForecastHTTPServer` and
+hit through per-thread :class:`~repro.serving.transport.ForecastClient`
+connections, adding ``Wire``-prefixed throughput/latency columns — one
+table comparing direct, service, scheduler, and HTTP serving.
 """
 
 from __future__ import annotations
@@ -54,10 +61,13 @@ def run(
     use_service: bool = False,
     serve_concurrency: int = 0,
     serve_deadline_ms: float = 2.0,
+    serve_wire: bool = False,
 ) -> dict:
     """Measure wall-clock train/test time per model per dataset."""
-    if serve_concurrency > 0:
+    if serve_concurrency > 0 or serve_wire:
         use_service = True  # the concurrent replay rides on the service
+    if serve_wire and serve_concurrency <= 0:
+        serve_concurrency = 4  # the wire replay reuses the concurrent schedule
     scale = get_scale(scale_name)
     keys = datasets if datasets is not None else ["pems-bay", "pems-07", "pems-08", "melbourne"]
     model_names = models if models is not None else ["GE-GAN", "IGNNK", "INCREASE", "STSM"]
@@ -159,6 +169,34 @@ def run(
                     "scheduler": scheduler.stats,
                     "service_delta": delta,
                 }
+                if serve_wire:
+                    from ..serving import ServingRuntime
+                    from ..serving.loadgen import WireDriver
+                    from ..serving.transport import ForecastHTTPServer
+
+                    # Replay the same deterministic schedule once more,
+                    # over real HTTP: an in-process server hosts a fresh
+                    # scheduler over the same warm service, and each
+                    # client thread speaks the wire codec through its
+                    # own kept-alive connection.  The Wire-prefixed
+                    # columns land next to the scheduler's, so one row
+                    # reads direct / service / scheduler / HTTP.
+                    with ServingRuntime(deadline_ms=serve_deadline_ms) as runtime:
+                        runtime.register(model_name, service)
+                        with ForecastHTTPServer(runtime).start() as server:
+                            server.set_ready()
+                            with WireDriver("127.0.0.1", server.port,
+                                            model_name) as driver:
+                                wire_report = generator.run(
+                                    driver, collect_results=False
+                                )
+                            wire_transport = server.counters.snapshot()
+                    wire_summary = wire_report.summary()
+                    row.update(latency_columns(wire_summary, prefix="Wire "))
+                    row["_serve_wire"] = {
+                        "load": wire_summary,
+                        "transport": wire_transport,
+                    }
             rows.append(row)
     rows_for_text = [
         {k: v for k, v in row.items() if not k.startswith("_")} for row in rows

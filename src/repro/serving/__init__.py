@@ -1,6 +1,6 @@
 """Serving layer: batched, cached, scheduled forecasting on fitted models.
 
-Three bricks toward the production system the ROADMAP aims at:
+Four bricks toward the production system the ROADMAP aims at:
 
 * :class:`ForecastService` — owns one fitted
   :class:`~repro.interfaces.Forecaster`, coalesces window-start requests
@@ -13,25 +13,40 @@ Three bricks toward the production system the ROADMAP aims at:
 * :class:`ServingRuntime` — hosts many named fitted models (one
   scheduler each), routes requests by model key, and aggregates
   per-model latency/throughput/cache telemetry.
+* :mod:`repro.serving.transport` — the wire: a versioned binary codec,
+  a threaded HTTP/1.1 server over a runtime, a blocking
+  :class:`~repro.serving.transport.ForecastClient`, and a multi-worker
+  launcher (``python -m repro.serving serve``).
+
+Failures share one public taxonomy (:mod:`repro.serving.errors`):
+:class:`ServingError` with :class:`QueueFull` (retryable, HTTP 503),
+:class:`ModelNotFound` (HTTP 404) and :class:`InvalidRequest`
+(HTTP 400) — wire error frames map 1:1 to the in-process exceptions.
 
 :mod:`repro.serving.loadgen` drives any of them with deterministic
-seeded-Zipf multi-threaded traffic for benchmarking.
+seeded-Zipf multi-threaded traffic for benchmarking, in-process or over
+the wire (:class:`~repro.serving.loadgen.WireDriver`).
 """
 
-from .loadgen import LoadGenerator, LoadReport, LoadSpec
+from .errors import InvalidRequest, ModelNotFound, QueueFull, ServingError
+from .loadgen import LoadGenerator, LoadReport, LoadSpec, WireDriver
 from .runtime import ServingRuntime
-from .scheduler import AsyncForecast, LatencyRecorder, MicroBatchScheduler, QueueFull
+from .scheduler import AsyncForecast, LatencyRecorder, MicroBatchScheduler
 from .service import ForecastHandle, ForecastService
 
 __all__ = [
     "AsyncForecast",
     "ForecastHandle",
     "ForecastService",
+    "InvalidRequest",
     "LatencyRecorder",
     "LoadGenerator",
     "LoadReport",
     "LoadSpec",
     "MicroBatchScheduler",
+    "ModelNotFound",
     "QueueFull",
+    "ServingError",
     "ServingRuntime",
+    "WireDriver",
 ]

@@ -18,6 +18,10 @@ callable from ``request item -> result array``, so the same schedule
 can hammer a :class:`~repro.serving.MicroBatchScheduler`, a
 :class:`~repro.serving.ServingRuntime` route, or a plain locked
 ``model.predict`` baseline — the comparison the load benchmark reports.
+:class:`WireDriver` is the serve callable for HTTP serving: one
+:class:`~repro.serving.transport.ForecastClient` (with its own
+kept-alive connection) per generator thread, so wire load tests measure
+the server, not client-side connection churn.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "LoadSpec",
+    "WireDriver",
     "build_schedule",
     "latency_summary",
     "zipf_probabilities",
@@ -142,6 +147,70 @@ class LoadReport:
             "throughput_rps": self.throughput_rps,
             "latency": self.latency_ms,
         }
+
+
+class WireDriver:
+    """Serve callable that routes load-generator items over HTTP.
+
+    Each generator thread gets its own
+    :class:`~repro.serving.transport.ForecastClient` (clients are not
+    thread-safe; per-thread clients also mean per-thread kept-alive
+    connections, mirroring real fan-in).  Items are window starts when
+    ``model`` is fixed, or ``(model_key, start)`` pairs for routed
+    multi-model traffic.  Call :meth:`close` after the run to drop every
+    connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        model: str | None = None,
+        *,
+        timeout: float = 30.0,
+        retries: int = 5,
+        backoff_s: float = 0.02,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.model = model
+        self._client_kwargs = dict(timeout=timeout, retries=retries,
+                                   backoff_s=backoff_s)
+        self._local = threading.local()
+        self._clients: list = []
+        self._clients_lock = threading.Lock()
+
+    def client(self):
+        """This thread's client (created on first use)."""
+        client = getattr(self._local, "client", None)
+        if client is None:
+            from .transport import ForecastClient  # local import: leaf -> package
+
+            client = ForecastClient(self.host, self.port, **self._client_kwargs)
+            self._local.client = client
+            with self._clients_lock:
+                self._clients.append(client)
+        return client
+
+    def __call__(self, item) -> np.ndarray:
+        if self.model is not None:
+            model, start = self.model, item
+        else:
+            model, start = item
+        return self.client().forecast_one(model, int(start))
+
+    def close(self) -> None:
+        """Close every per-thread connection this driver opened."""
+        with self._clients_lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "WireDriver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class LoadGenerator:

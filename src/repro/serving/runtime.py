@@ -27,6 +27,7 @@ import threading
 import numpy as np
 
 from ..interfaces import Forecaster
+from .errors import ModelNotFound
 from .scheduler import AsyncForecast, MicroBatchScheduler
 from .service import ForecastService
 
@@ -51,6 +52,7 @@ class ServingRuntime:
         admission: str = "block",
         cache_size: int | None = None,
         log_batches: bool = False,
+        cache_fast_path: bool = False,
     ) -> None:
         self._defaults = {
             "deadline_ms": deadline_ms,
@@ -59,10 +61,17 @@ class ServingRuntime:
             "admission": admission,
             "cache_size": cache_size,
             "log_batches": log_batches,
+            "cache_fast_path": cache_fast_path,
         }
         self._schedulers: dict[str, MicroBatchScheduler] = {}
         self._lock = threading.Lock()
         self._closed = False
+        # Number of drain() calls currently in flight.  register() and
+        # shutdown() during a drain would mutate the scheduler map the
+        # drain is iterating over (a new model would silently escape the
+        # barrier; a shutdown would fail requests the drain promised to
+        # serve), so both raise while this is non-zero.
+        self._draining = 0
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -78,6 +87,11 @@ class ServingRuntime:
         with self._lock:
             if self._closed:
                 raise RuntimeError("runtime is shut down")
+            if self._draining:
+                raise RuntimeError(
+                    f"cannot register {key!r} while a drain() is in flight; "
+                    "wait for the drain barrier to release"
+                )
             if key in self._schedulers:
                 raise ValueError(f"model key {key!r} is already registered")
             settings = {**self._defaults, **overrides}
@@ -92,12 +106,15 @@ class ServingRuntime:
 
     def scheduler(self, key: str) -> MicroBatchScheduler:
         with self._lock:
-            try:
-                return self._schedulers[key]
-            except KeyError:
-                raise KeyError(
-                    f"unknown model key {key!r}; registered: {sorted(self._schedulers)}"
-                ) from None
+            return self._scheduler_locked(key)
+
+    def _scheduler_locked(self, key: str) -> MicroBatchScheduler:
+        try:
+            return self._schedulers[key]
+        except KeyError:
+            raise ModelNotFound(
+                f"unknown model key {key!r}; registered: {sorted(self._schedulers)}"
+            ) from None
 
     @property
     def models(self) -> list[str]:
@@ -139,17 +156,37 @@ class ServingRuntime:
     # Lifecycle
     # ------------------------------------------------------------------
     def drain(self, key: str | None = None, timeout: float | None = None) -> bool:
-        """Barrier until accepted requests are served (one model or all)."""
-        if key is not None:
-            return self.scheduler(key).drain(timeout)
-        ok = True
-        for scheduler in self._snapshot():
-            ok = scheduler.drain(timeout) and ok
-        return ok
+        """Barrier until accepted requests are served (one model or all).
+
+        While the barrier is in flight, :meth:`register` and
+        :meth:`shutdown` raise ``RuntimeError`` — mutating the scheduler
+        map mid-drain would let a new model escape the barrier or fail
+        requests the drain promised to serve.
+        """
+        with self._lock:
+            schedulers = (
+                list(self._schedulers.values())
+                if key is None
+                else [self._scheduler_locked(key)]
+            )
+            self._draining += 1
+        try:
+            ok = True
+            for scheduler in schedulers:
+                ok = scheduler.drain(timeout) and ok
+            return ok
+        finally:
+            with self._lock:
+                self._draining -= 1
 
     def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
         """Shut down every hosted scheduler.  Idempotent."""
         with self._lock:
+            if self._draining:
+                raise RuntimeError(
+                    "cannot shut down while a drain() is in flight; "
+                    "wait for the drain barrier to release"
+                )
             self._closed = True
         for scheduler in self._snapshot():
             scheduler.shutdown(drain=drain, timeout=timeout)
@@ -173,6 +210,7 @@ class ServingRuntime:
             return self.scheduler(key).stats
         with self._lock:
             per_model = {k: s.stats for k, s in self._schedulers.items()}
+        fast_hits = sum(s["fast_hits"] for s in per_model.values())
         totals = {
             "models": len(per_model),
             "submitted": sum(s["submitted"] for s in per_model.values()),
@@ -180,13 +218,20 @@ class ServingRuntime:
             "rejected": sum(s["rejected"] for s in per_model.values()),
             "failed": sum(s["failed"] for s in per_model.values()),
             "batches": sum(s["batches"] for s in per_model.values()),
+            "fast_hits": fast_hits,
             "queue_depth": sum(s["queue_depth"] for s in per_model.values()),
-            "cache_hits": sum(s["service"]["cache_hits"] for s in per_model.values()),
+            # Fast-path hits never reach the service's counters, so the
+            # rollup adds them to both the hit count and the request
+            # denominator to keep the hit rate meaningful.
+            "cache_hits": fast_hits
+            + sum(s["service"]["cache_hits"] for s in per_model.values()),
             "windows_computed": sum(
                 s["service"]["windows_computed"] for s in per_model.values()
             ),
         }
-        requests = sum(s["service"]["requests"] for s in per_model.values())
+        requests = fast_hits + sum(
+            s["service"]["requests"] for s in per_model.values()
+        )
         totals["cache_hit_pct"] = (
             100.0 * totals["cache_hits"] / requests if requests else 0.0
         )

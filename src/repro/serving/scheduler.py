@@ -40,14 +40,11 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..interfaces import Forecaster
+from .errors import InvalidRequest, QueueFull
 from .loadgen import latency_summary
 from .service import ForecastService
 
 __all__ = ["AsyncForecast", "LatencyRecorder", "MicroBatchScheduler", "QueueFull"]
-
-
-class QueueFull(RuntimeError):
-    """Admission control rejected a request: the scheduler queue is full."""
 
 
 class AsyncForecast:
@@ -73,9 +70,11 @@ class LatencyRecorder:
 
     Keeps the most recent ``maxlen`` samples (``deque(maxlen)``) so
     unbounded load runs cannot grow memory without bound; percentiles
-    are computed on read.  Appends happen only on the scheduler worker
-    thread; a read concurrent with traffic sees a slightly stale sample,
-    which telemetry tolerates (benchmarks read after ``drain()``).
+    are computed on read.  Appends come from the scheduler worker thread
+    and, when the cache-hit fast path is on, from submitter threads too
+    — a small internal lock keeps the count exact.  A read concurrent
+    with traffic sees a slightly stale sample, which telemetry tolerates
+    (benchmarks read after ``drain()``).
     """
 
     def __init__(self, maxlen: int = 200_000) -> None:
@@ -84,16 +83,21 @@ class LatencyRecorder:
         self.maxlen = maxlen
         self.count = 0
         self._ring: deque[float] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
-        self._ring.append(seconds)
-        self.count += 1
+        with self._lock:
+            self._ring.append(seconds)
+            self.count += 1
 
     def summary(self) -> dict:
         """Latency percentiles in milliseconds over the retained sample."""
-        summary = latency_summary(self._ring)
+        with self._lock:
+            sample = list(self._ring)
+            count = self.count
+        summary = latency_summary(sample)
         # Total recorded, not just retained in the ring.
-        summary["count"] = self.count
+        summary["count"] = count
         return summary
 
 
@@ -137,6 +141,14 @@ class MicroBatchScheduler:
         Parity-replay support: ``True`` enables the service's
         ``batch_log`` — also on an existing service that was built
         without one (never disables an already-active log).
+    cache_fast_path:
+        Serve result-cache hits directly on the submitting thread —
+        zero queue hops, no worker-thread round trip, no admission wait.
+        Off by default (the queue path preserves strict micro-batch
+        telemetry semantics); the wire transport turns it on, where the
+        two thread handoffs the queue costs per request dominate
+        cache-hot serving.  Bytes are unchanged either way: a hit is the
+        block the first computation cached.
     name:
         Label used for the worker thread and error messages.
 
@@ -155,6 +167,7 @@ class MicroBatchScheduler:
         admission: str = "block",
         cache_size: int | None = None,
         log_batches: bool = False,
+        cache_fast_path: bool = False,
         name: str = "scheduler",
     ) -> None:
         if deadline_ms < 0:
@@ -185,6 +198,7 @@ class MicroBatchScheduler:
         self.max_batch = max_batch
         self.max_queue = max_queue
         self.admission = admission
+        self.cache_fast_path = cache_fast_path
         self.name = name
 
         self._cond = threading.Condition()
@@ -200,6 +214,7 @@ class MicroBatchScheduler:
         self.failed = 0
         self.batches = 0
         self.batched_requests = 0
+        self.fast_hits = 0
         self.peak_queue_depth = 0
         self.max_batch_observed = 0
         self.latency = LatencyRecorder()
@@ -215,8 +230,30 @@ class MicroBatchScheduler:
     # Client side
     # ------------------------------------------------------------------
     def submit(self, start: int) -> AsyncForecast:
-        """Enqueue one window-start request from any thread."""
+        """Enqueue one window-start request from any thread.
+
+        With :attr:`cache_fast_path` on, a request whose window is
+        already in the result cache is answered on this thread with a
+        pre-resolved handle — it never touches the queue, so it cannot
+        be rejected, shed, or delayed behind a forming micro-batch.
+        """
         start = int(start)
+        if self.cache_fast_path:
+            value = self.service.cached_block(start)
+            if value is not None:
+                fast: Future = Future()
+                fast.set_result(value)
+                with self._cond:
+                    if self._closed:
+                        raise RuntimeError(f"{self.name} is shut down")
+                    self.submitted += 1
+                    self.completed += 1
+                    self.fast_hits += 1
+                    if self._first_submit_at is None:
+                        self._first_submit_at = time.monotonic()
+                    self._last_complete_at = time.monotonic()
+                self.latency.record(0.0)
+                return AsyncForecast(start, fast)
         future: Future = Future()
         with self._cond:
             if self._closed:
@@ -251,7 +288,7 @@ class MicroBatchScheduler:
         """
         window_starts = np.asarray(window_starts, dtype=int).ravel()
         if window_starts.size == 0:
-            raise ValueError("forecast() needs at least one window start")
+            raise InvalidRequest("forecast() needs at least one window start")
         handles = [self.submit(int(s)) for s in window_starts]
         return np.stack([h.result() for h in handles], axis=0)
 
@@ -377,6 +414,7 @@ class MicroBatchScheduler:
                 "rejected": self.rejected,
                 "failed": self.failed,
                 "batches": self.batches,
+                "fast_hits": self.fast_hits,
                 "avg_batch_size": (
                     self.batched_requests / self.batches if self.batches else 0.0
                 ),

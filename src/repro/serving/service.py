@@ -38,6 +38,7 @@ import numpy as np
 
 from ..engine import LRUCache
 from ..interfaces import Forecaster
+from .errors import InvalidRequest
 
 __all__ = ["ForecastHandle", "ForecastService"]
 
@@ -226,6 +227,21 @@ class ForecastService:
         if self.batch_log is None:
             self.batch_log = deque(maxlen=BATCH_LOG_MAXLEN)
 
+    def cached_block(self, start: int) -> np.ndarray | None:
+        """Cache-only lookup: the stored block, or ``None`` on a miss.
+
+        Deliberately takes no service lock (the engine cache is itself
+        thread-safe): the scheduler's cache-hit fast path must not
+        serialise behind an in-flight flush's ``predict`` call — hits
+        matter most exactly while the worker is busy computing.  The
+        service-level request counters don't move (the caller accounts
+        for the hit in its own telemetry); the LRU's internal hit/miss
+        counters do, so with a fast path in front each cold request
+        shows up there as one extra probe miss.
+        """
+        value = self._results.get(int(start), _MISSING)
+        return None if value is _MISSING else value
+
     def compute_one(self, start: int) -> np.ndarray:
         """Compute one window directly, bypassing the cache round-trip.
 
@@ -257,7 +273,7 @@ class ForecastService:
             # Validate *before* touching service state: an empty request
             # must not flush (and thus reorder) other callers' pending
             # submissions as a side effect of raising.
-            raise ValueError("forecast() needs at least one window start")
+            raise InvalidRequest("forecast() needs at least one window start")
         with self._lock:  # atomic: no interleaved flush can split the batch
             handles = [self.submit(int(s)) for s in window_starts]
             self.flush()

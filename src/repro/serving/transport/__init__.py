@@ -1,0 +1,45 @@
+"""Wire-level serving: codec, HTTP server, client, multi-worker launcher.
+
+The in-process serving stack (service -> scheduler -> runtime) ends at
+a python call boundary; this package puts it behind a socket:
+
+* :mod:`~repro.serving.transport.codec` — versioned binary frames:
+  JSON control headers + raw little-endian array payloads, so served
+  forecasts round-trip **bitwise**.
+* :class:`ForecastHTTPServer` — threaded HTTP/1.1 front door over a
+  :class:`~repro.serving.ServingRuntime` (forecast routes, health,
+  stats, batch-log introspection, readiness gating, ``SO_REUSEPORT``).
+* :class:`ForecastClient` — blocking client with connection reuse,
+  timeouts and retry-on-503.
+* :mod:`~repro.serving.transport.workers` — checkpoint bundles and the
+  ``python -m repro.serving serve`` multi-process launcher.
+"""
+
+from .client import ForecastClient
+from .codec import CODEC_VERSION, CONTENT_TYPE, CodecError
+from .http_server import DEFAULT_MAX_BODY_BYTES, ForecastHTTPServer
+from .workers import (
+    BundleEntry,
+    ServeConfig,
+    launch,
+    load_bundle,
+    reuse_port_supported,
+    run_worker,
+    save_bundle,
+)
+
+__all__ = [
+    "BundleEntry",
+    "CODEC_VERSION",
+    "CONTENT_TYPE",
+    "CodecError",
+    "DEFAULT_MAX_BODY_BYTES",
+    "ForecastClient",
+    "ForecastHTTPServer",
+    "ServeConfig",
+    "launch",
+    "load_bundle",
+    "reuse_port_supported",
+    "run_worker",
+    "save_bundle",
+]

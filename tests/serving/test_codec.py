@@ -1,0 +1,207 @@
+"""Wire codec: bitwise round-trips, malformed-frame rejection, error taxonomy."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serving import InvalidRequest, ModelNotFound, QueueFull, ServingError
+from repro.serving.transport import codec
+from repro.serving.transport.codec import CodecError
+
+
+class TestFrameLayer:
+    def test_frame_round_trip(self):
+        header, payload = codec.decode_frame(
+            codec.encode_frame({"kind": "x", "n": 3}, b"\x00\x01\xff")
+        )
+        assert header == {"kind": "x", "n": 3}
+        assert payload == b"\x00\x01\xff"
+
+    def test_empty_payload(self):
+        header, payload = codec.decode_frame(codec.encode_frame({"kind": "x"}))
+        assert payload == b""
+
+    @pytest.mark.parametrize("cut", [0, 1, 5, 13])
+    def test_truncated_prelude(self, cut):
+        body = codec.encode_frame({"kind": "x"}, b"abc")
+        with pytest.raises(CodecError, match="truncated"):
+            codec.decode_frame(body[:cut])
+
+    def test_truncated_body_every_cut(self):
+        """Property-style: any strict prefix past the prelude fails loudly."""
+        body = codec.encode_frame({"kind": "x", "k": [1, 2]}, b"payload!")
+        for cut in range(14, len(body)):
+            with pytest.raises(CodecError, match="truncated"):
+                codec.decode_frame(body[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        body = codec.encode_frame({"kind": "x"}, b"p")
+        with pytest.raises(CodecError, match="oversized"):
+            codec.decode_frame(body + b"\x00")
+
+    def test_bad_magic(self):
+        body = bytearray(codec.encode_frame({"kind": "x"}))
+        body[:4] = b"HTTP"
+        with pytest.raises(CodecError, match="magic"):
+            codec.decode_frame(bytes(body))
+
+    def test_version_mismatch(self):
+        good = codec.encode_frame({"kind": "x"})
+        bumped = good[:4] + struct.pack("<H", codec.CODEC_VERSION + 1) + good[6:]
+        with pytest.raises(CodecError, match="version mismatch"):
+            codec.decode_frame(bumped)
+
+    def test_header_not_json(self):
+        head = b"not json!!"
+        body = struct.pack("<4sHII", codec.MAGIC, codec.CODEC_VERSION,
+                           len(head), 0) + head
+        with pytest.raises(CodecError, match="not valid JSON"):
+            codec.decode_frame(body)
+
+    def test_header_without_kind(self):
+        head = json.dumps({"no": "kind"}).encode()
+        body = struct.pack("<4sHII", codec.MAGIC, codec.CODEC_VERSION,
+                           len(head), 0) + head
+        with pytest.raises(CodecError, match="'kind'"):
+            codec.decode_frame(body)
+
+    def test_absurd_header_length_rejected(self):
+        body = struct.pack("<4sHII", codec.MAGIC, codec.CODEC_VERSION,
+                           codec.MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(CodecError, match="corrupt"):
+            codec.decode_frame(body)
+
+
+class TestArrayFrames:
+    @pytest.mark.parametrize("dtype", ["<f8", "<f4", "<i8", "<i4", "<u2", "<f2"])
+    @pytest.mark.parametrize("shape", [(), (1,), (7,), (2, 3), (3, 4, 5), (0, 4)])
+    def test_round_trip_bitwise(self, dtype, shape):
+        rng = np.random.default_rng(hash((dtype, shape)) % (2**32))
+        raw = rng.integers(0, 256, size=int(np.prod(shape)) * np.dtype(dtype).itemsize,
+                           dtype=np.uint8)
+        values = np.frombuffer(raw.tobytes(), dtype=dtype).reshape(shape)
+        decoded = codec.decode_array(codec.encode_array(values))
+        assert decoded.dtype == np.dtype(dtype)
+        assert decoded.shape == shape
+        # Byte-level equality: NaN payload bits, -0.0, denormals all survive.
+        assert decoded.tobytes() == values.tobytes()
+
+    def test_nan_and_inf_payloads(self):
+        values = np.array([np.nan, -np.nan, np.inf, -np.inf, -0.0, 1e-310])
+        decoded = codec.decode_array(codec.encode_array(values))
+        assert decoded.tobytes() == values.tobytes()
+
+    def test_big_endian_input_normalised(self):
+        values = np.arange(6, dtype=">f8").reshape(2, 3)
+        decoded = codec.decode_array(codec.encode_array(values))
+        assert decoded.dtype == np.dtype("<f8")
+        assert np.array_equal(decoded, values.astype("<f8"))
+
+    def test_non_contiguous_input(self):
+        base = np.arange(24, dtype="<f8").reshape(4, 6)
+        view = base[::2, ::3]
+        decoded = codec.decode_array(codec.encode_array(view))
+        assert np.array_equal(decoded, view)
+
+    def test_payload_length_mismatch(self):
+        body = bytearray(codec.encode_array(np.zeros(4)))
+        # Shrink the payload but fix up the declared length so the frame
+        # layer passes and the array layer has to catch it.
+        header, _payload = codec.decode_frame(bytes(body))
+        tampered = codec.encode_frame(header, b"\x00" * 7)
+        with pytest.raises(CodecError, match="payload is 7 bytes"):
+            codec.decode_array(tampered)
+
+    def test_error_frame_surfaces_as_exception(self):
+        with pytest.raises(QueueFull):
+            codec.decode_array(codec.encode_error("queue_full", "busy"))
+
+    def test_wrong_kind(self):
+        with pytest.raises(CodecError, match="expected an array frame"):
+            codec.decode_array(codec.encode_request([1]))
+
+
+class TestRequestFrames:
+    @pytest.mark.parametrize("starts", [[0], [5, 2, 5], list(range(100)), [-3]])
+    def test_round_trip(self, starts):
+        assert codec.decode_request(codec.encode_request(starts)) == starts
+
+    def test_numpy_starts(self):
+        assert codec.decode_request(
+            codec.encode_request(np.array([4, 2], dtype=np.int64))
+        ) == [4, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidRequest, match="non-empty"):
+            codec.decode_request(codec.encode_frame({"kind": "forecast", "starts": []}))
+
+    def test_missing_starts_rejected(self):
+        with pytest.raises(InvalidRequest):
+            codec.decode_request(codec.encode_frame({"kind": "forecast"}))
+
+    @pytest.mark.parametrize("starts", [[1.5], ["3"], [True], [None], "12"])
+    def test_non_integer_starts_rejected(self, starts):
+        body = codec.encode_frame({"kind": "forecast", "starts": starts})
+        with pytest.raises(InvalidRequest):
+            codec.decode_request(body)
+
+
+class TestErrorFrames:
+    @pytest.mark.parametrize("code,cls,status", [
+        ("queue_full", QueueFull, 503),
+        ("not_ready", ServingError, 503),
+        ("model_not_found", ModelNotFound, 404),
+        ("invalid_request", InvalidRequest, 400),
+        ("codec_error", CodecError, 400),
+        ("body_too_large", InvalidRequest, 413),
+        ("internal", ServingError, 500),
+    ])
+    def test_code_table(self, code, cls, status):
+        assert codec.ERROR_CODES[code][0] is cls
+        assert codec.ERROR_CODES[code][1] == status
+        header, _ = codec.decode_frame(codec.encode_error(code, "boom"))
+        exc = codec.decode_error(header)
+        assert isinstance(exc, cls)
+        assert "boom" in str(exc)
+
+    def test_unknown_code_refused_at_encode(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            codec.encode_error("made_up", "x")
+
+    def test_unknown_code_decodes_to_base_class(self):
+        exc = codec.decode_error({"kind": "error", "code": "future_code",
+                                  "message": "hm"})
+        assert type(exc) is ServingError
+
+    @pytest.mark.parametrize("exc,code,status", [
+        (QueueFull("q"), "queue_full", 503),
+        (ModelNotFound("m"), "model_not_found", 404),
+        (CodecError("c"), "codec_error", 400),
+        (InvalidRequest("i"), "invalid_request", 400),
+        (ServingError("s"), "internal", 500),
+        (RuntimeError("r"), "internal", 500),
+    ])
+    def test_exception_to_error(self, exc, code, status):
+        assert codec.exception_to_error(exc) == (code, status)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(QueueFull, ServingError)
+        assert issubclass(ModelNotFound, ServingError)
+        assert issubclass(InvalidRequest, ServingError)
+        assert issubclass(CodecError, InvalidRequest)
+        assert issubclass(ServingError, RuntimeError)
+
+    def test_builtin_compatibility(self):
+        """Pre-taxonomy callers caught KeyError / ValueError; keep that."""
+        assert issubclass(ModelNotFound, KeyError)
+        assert issubclass(InvalidRequest, ValueError)
+
+    def test_model_not_found_renders_plainly(self):
+        # KeyError.__str__ would repr-quote the message.
+        assert str(ModelNotFound("unknown model key 'x'")) == "unknown model key 'x'"

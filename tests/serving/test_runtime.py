@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -123,6 +126,108 @@ class TestLifecycle:
             runtime.register("a", _KeyedForecaster(1.0))
         with pytest.raises(RuntimeError):
             runtime.submit("a", 0)
+
+    def test_unknown_key_is_model_not_found(self):
+        from repro.serving import ModelNotFound, ServingError
+
+        with ServingRuntime() as runtime:
+            with pytest.raises(ModelNotFound) as excinfo:
+                runtime.submit("nope", 0)
+        # The taxonomy member is both a ServingError and (compat) KeyError.
+        assert isinstance(excinfo.value, ServingError)
+        assert isinstance(excinfo.value, KeyError)
+
+
+class _GatedForecaster(Forecaster):
+    """Predict blocks until released, so a drain can be held open."""
+
+    name = "gated"
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def fit(self, dataset, split, spec, train_steps) -> FitReport:
+        return FitReport()
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        self.entered.set()
+        assert self.release.wait(10.0), "gate never released"
+        return np.zeros((len(np.asarray(window_starts)), 2, 3))
+
+
+class TestDrainLifecycleRace:
+    """register()/shutdown() during an in-flight drain() must raise, not
+    corrupt the scheduler map (a model registered mid-drain would escape
+    the barrier; a shutdown mid-drain would fail promised requests)."""
+
+    def _draining_runtime(self):
+        model = _GatedForecaster()
+        runtime = ServingRuntime(deadline_ms=0.0, max_batch=1)
+        runtime.register("gated", model)
+        handle = runtime.submit("gated", 0)
+        assert model.entered.wait(5.0)  # the batch is being predicted
+
+        drained = threading.Event()
+        outcome = {}
+
+        def drain():
+            outcome["ok"] = runtime.drain(timeout=10.0)
+            drained.set()
+
+        drainer = threading.Thread(target=drain, daemon=True)
+        drainer.start()
+        # The drain is now parked on the in-flight batch.
+        deadline = time.monotonic() + 5.0
+        while not runtime._draining:
+            assert time.monotonic() < deadline, "drain never started"
+            time.sleep(0.005)
+        return runtime, model, handle, drained, outcome
+
+    def test_register_during_drain_raises(self):
+        runtime, model, handle, drained, outcome = self._draining_runtime()
+        try:
+            with pytest.raises(RuntimeError, match="drain\\(\\) is in flight"):
+                runtime.register("late", _KeyedForecaster(1.0))
+        finally:
+            model.release.set()
+        assert drained.wait(10.0) and outcome["ok"]
+        assert handle.result(5.0).shape == (2, 3)
+        # After the barrier releases, registration works again.
+        runtime.register("late", _KeyedForecaster(1.0))
+        assert "late" in runtime
+        runtime.shutdown()
+
+    def test_shutdown_during_drain_raises(self):
+        runtime, model, handle, drained, outcome = self._draining_runtime()
+        try:
+            with pytest.raises(RuntimeError, match="drain\\(\\) is in flight"):
+                runtime.shutdown()
+        finally:
+            model.release.set()
+        assert drained.wait(10.0) and outcome["ok"]
+        assert handle.result(5.0).shape == (2, 3)
+        runtime.shutdown()  # clean afterwards
+        assert runtime.models == ["gated"]
+
+    def test_concurrent_drains_are_allowed(self):
+        model = _GatedForecaster()
+        runtime = ServingRuntime(deadline_ms=0.0, max_batch=1)
+        runtime.register("gated", model)
+        runtime.submit("gated", 0)
+        assert model.entered.wait(5.0)
+        results = []
+        drainers = [
+            threading.Thread(target=lambda: results.append(runtime.drain(timeout=10.0)))
+            for _ in range(3)
+        ]
+        for t in drainers:
+            t.start()
+        model.release.set()
+        for t in drainers:
+            t.join(timeout=10.0)
+        assert results == [True, True, True]
+        runtime.shutdown()
 
 
 class TestStats:

@@ -307,3 +307,84 @@ class TestConcurrentParity:
         for per_thread in report.results:
             for start, value in per_thread:
                 assert np.array_equal(value, reference[start])
+
+
+class TestCacheFastPath:
+    """Opt-in cache-hit fast path: hits served on the submitting thread."""
+
+    def test_hit_skips_queue_and_predict(self):
+        model = _CountingForecaster()
+        with MicroBatchScheduler(model, deadline_ms=1.0,
+                                 cache_fast_path=True) as scheduler:
+            cold = scheduler.submit(7).result()
+            calls_after_cold = len(model.calls)
+            handle = scheduler.submit(7)
+            assert handle.done()  # resolved before any worker involvement
+            hot = handle.result()
+            assert np.array_equal(hot, cold)
+            assert len(model.calls) == calls_after_cold  # no new predict
+            stats = scheduler.stats
+            assert stats["fast_hits"] == 1
+            assert stats["completed"] == 2
+            assert stats["submitted"] == 2
+
+    def test_fast_hit_bypasses_admission_control(self):
+        """A hit must be servable even while the queue is full."""
+        model = _GatedForecaster()
+        with MicroBatchScheduler(model, deadline_ms=0.0, max_batch=1,
+                                 max_queue=1, admission="reject",
+                                 cache_fast_path=True) as scheduler:
+            model.release.set()
+            warm = scheduler.submit(3).result()  # cached now
+            scheduler.drain()
+            model.release.clear()
+            model.entered.clear()
+            in_flight = scheduler.submit(100)  # worker blocks in predict
+            assert model.entered.wait(5.0)
+            queued = scheduler.submit(101)  # fills the queue
+            with pytest.raises(QueueFull):
+                scheduler.submit(102)  # miss: rejected
+            assert np.array_equal(scheduler.submit(3).result(), warm)  # hit: served
+            model.release.set()
+            in_flight.result(10.0)
+            queued.result(10.0)
+
+    def test_off_by_default(self):
+        model = _CountingForecaster()
+        with MicroBatchScheduler(model, deadline_ms=1.0) as scheduler:
+            scheduler.submit(7).result()
+            scheduler.submit(7).result()
+            assert scheduler.stats["fast_hits"] == 0
+            assert scheduler.stats["service"]["cache_hits"] == 1
+
+    def test_bytes_identical_to_queue_path(self):
+        model = _CountingForecaster()
+        with MicroBatchScheduler(model, deadline_ms=1.0) as queued:
+            via_queue = [queued.submit(s).result() for s in (1, 2, 1, 2)]
+        model2 = _CountingForecaster()
+        with MicroBatchScheduler(model2, deadline_ms=1.0,
+                                 cache_fast_path=True) as fast:
+            via_fast = [fast.submit(s).result() for s in (1, 2, 1, 2)]
+        for a, b in zip(via_queue, via_fast):
+            assert np.array_equal(a, b)
+
+    def test_shutdown_refuses_fast_hits_too(self):
+        model = _CountingForecaster()
+        scheduler = MicroBatchScheduler(model, deadline_ms=1.0,
+                                        cache_fast_path=True)
+        scheduler.submit(7).result()
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            scheduler.submit(7)
+
+    def test_runtime_totals_fold_fast_hits(self):
+        from repro.serving import ServingRuntime
+
+        with ServingRuntime(deadline_ms=1.0, cache_fast_path=True) as runtime:
+            runtime.register("a", _CountingForecaster())
+            for _ in range(3):
+                runtime.forecast("a", np.array([5]))
+            stats = runtime.stats()
+            assert stats["totals"]["fast_hits"] == 2
+            assert stats["totals"]["cache_hits"] == 2
+            assert stats["totals"]["cache_hit_pct"] == pytest.approx(100 * 2 / 3)
