@@ -100,6 +100,13 @@ class STSMConfig:
     # a name scopes this model's fit/predict to that backend.
     backend: str | None = None
 
+    # Cross-fit artifact reuse (repro.engine.store): None auto-enables
+    # the shared content-addressed store when the process has opted in
+    # (REPRO_CACHE_DIR set or configure_store() called); True forces the
+    # shared store, False forces per-fit cache isolation.  Hits are
+    # bit-exact, so fixed-seed metrics are identical either way.
+    cache_store: bool | None = None
+
     def replace(self, **changes) -> "STSMConfig":
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
@@ -126,6 +133,10 @@ class STSMConfig:
             raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
         if self.lr_step_size <= 0:
             raise ValueError("lr_step_size must be positive")
+        if self.cache_store is not None and not isinstance(self.cache_store, bool):
+            raise ValueError(
+                f"cache_store must be True, False or None, got {self.cache_store!r}"
+            )
         if self.backend is not None:
             from ..backend import available_backends
 

@@ -41,7 +41,15 @@ from ..data.dataset import SpatioTemporalDataset
 from ..data.scalers import StandardScaler
 from ..data.splits import SpaceSplit
 from ..data.windows import WindowSpec, iterate_batches
-from ..engine import EarlyStopping, LRUCache, PairwiseDTWCache, Trainer, TrainingProgram, array_key
+from ..engine import (
+    EarlyStopping,
+    LRUCache,
+    PairwiseDTWCache,
+    Trainer,
+    TrainingProgram,
+    array_key,
+    resolve_store,
+)
 from ..graph.adjacency import gaussian_kernel_adjacency, gcn_normalise
 from ..graph.distances import euclidean_distance_matrix
 from ..interfaces import FitReport, Forecaster
@@ -288,6 +296,34 @@ class STSMForecaster(Forecaster):
         # --- network ----------------------------------------------------------
         self.network = STSMNetwork(cfg, horizon=spec.horizon, input_length=spec.input_length)
 
+        # --- engine caches (per-fit by default, shared store on opt-in) --------
+        # The store makes every DTW pair and masked adjacency computed
+        # here visible to later fits (and, with a disk tier, later
+        # processes); hits are bit-exact, so numbers never change.
+        store = resolve_store(cfg.cache_store)
+        self._store = store
+        self._dtw_cache = PairwiseDTWCache(store=store)
+        if store is not None:
+            # The masked adjacency is pure in (observations, distances,
+            # training period, fill/graph hyper-parameters, mask); the
+            # per-epoch lookup keys only the mask, so everything else is
+            # folded into the view's scope to stay content-addressed
+            # across fits.
+            mask_scope = array_key(
+                "mask_fill/v1",
+                scaled_full[:, observed],
+                dist_pseudo[obs_ix],
+                train_steps,
+                dataset.steps_per_day,
+                cfg.pseudo_k,
+                cfg.q_kk,
+                cfg.q_ku,
+                cfg.dtw_resolution,
+            )
+            self._mask_cache = store.view("mask_fill", scope=mask_scope)
+        else:
+            self._mask_cache = LRUCache(maxsize=64)
+
         # --- static adjacency for the original (complete) view -----------------
         a_s_train_t = Tensor(gcn_normalise(a_s_train))
         a_dtw_orig = build_dtw_adjacency(
@@ -299,6 +335,7 @@ class STSMForecaster(Forecaster):
             q_kk=cfg.q_kk,
             q_ku=cfg.q_ku,
             resolution=cfg.dtw_resolution,
+            distance_fn=self._dtw_cache.distance_matrix,
         )
         a_dtw_orig_t = Tensor(gcn_normalise(a_dtw_orig))
 
@@ -331,14 +368,13 @@ class STSMForecaster(Forecaster):
             q_kk=cfg.q_kk,
             q_ku=cfg.q_ku,
             resolution=cfg.dtw_resolution,
+            distance_fn=self._dtw_cache.distance_matrix,
         )
         a_dtw_val_t = Tensor(gcn_normalise(a_dtw_val))
         val_stride = max(1, (usable + 1) // 16)
         val_starts = np.arange(0, usable + 1, val_stride)
 
-        # --- shared engine: trainer + caches -----------------------------------
-        self._dtw_cache = PairwiseDTWCache()
-        self._mask_cache = LRUCache(maxsize=64)
+        # --- shared engine: trainer ------------------------------------------
         program = _STSMProgram(
             self,
             draw_mask,
@@ -367,11 +403,14 @@ class STSMForecaster(Forecaster):
             rng=rng,
             early_stopping=early_stopping,
             schedulers=[scheduler] if scheduler is not None else None,
+            store=store,
         )
         history = trainer.fit()
 
         self._fitted = True
         self._prepare_test_graph()
+        if store is not None:
+            store.persist()  # test-graph pairs computed after the trainer's flush
         return FitReport(
             train_seconds=time.perf_counter() - started,
             epochs=history.epochs,
@@ -482,6 +521,10 @@ class STSMForecaster(Forecaster):
             k=cfg.pseudo_k,
         )
         self._filled_full = filled
+        if getattr(self, "_dtw_cache", None) is None:
+            # Checkpoint-restore path (no fit): a store-backed cache lets
+            # a warmed disk tier skip the test-graph dynamic programs.
+            self._dtw_cache = PairwiseDTWCache(store=resolve_store(cfg.cache_store))
         a_dtw_test = build_dtw_adjacency(
             filled,
             observed_index=observed,
@@ -491,6 +534,7 @@ class STSMForecaster(Forecaster):
             q_kk=cfg.q_kk,
             q_ku=cfg.q_ku,
             resolution=cfg.dtw_resolution,
+            distance_fn=self._dtw_cache.distance_matrix,
         )
         self._a_s_test_t = Tensor(gcn_normalise(self._a_s_full))
         self._a_dtw_test_t = Tensor(gcn_normalise(a_dtw_test))

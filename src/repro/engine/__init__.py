@@ -6,19 +6,43 @@ model-specific pieces as a :class:`TrainingProgram`; early stopping,
 best-weight restore, loss history, LR scheduling and gradient clipping
 live here exactly once.  :mod:`repro.engine.cache` adds the
 content-addressed memoisation (mask-keyed adjacency/pseudo-observation
-reuse, per-pair DTW) that makes repeated epochs and repeated fits cheap.
+reuse, per-pair DTW) that makes repeated epochs and repeated fits cheap,
+and :mod:`repro.engine.store` lifts it to a process-wide two-tier
+:class:`ArtifactStore` so sweeps and fresh processes reuse artifacts
+across fits (opt in via ``$REPRO_CACHE_DIR`` or
+``STSMConfig.cache_store``).
 """
 
 from .cache import LRUCache, PairwiseDTWCache, array_key
 from .callbacks import EarlyStopping, History
+from .store import (
+    CACHE_DIR_ENV,
+    ArtifactStore,
+    StoreView,
+    configure_store,
+    default_store_scope,
+    get_store,
+    reset_store,
+    resolve_store,
+    store_active,
+)
 from .trainer import Trainer, TrainingProgram
 
 __all__ = [
+    "ArtifactStore",
+    "CACHE_DIR_ENV",
     "EarlyStopping",
     "History",
     "LRUCache",
     "PairwiseDTWCache",
+    "StoreView",
     "Trainer",
     "TrainingProgram",
     "array_key",
+    "configure_store",
+    "default_store_scope",
+    "get_store",
+    "reset_store",
+    "resolve_store",
+    "store_active",
 ]

@@ -128,6 +128,11 @@ class LRUCache:
             self.hits = 0
             self.misses = 0
 
+    def items(self) -> list[tuple[Hashable, object]]:
+        """Snapshot of the stored (key, value) pairs, LRU order."""
+        with self._lock:
+            return list(self._store.items())
+
     @property
     def stats(self) -> dict:
         with self._lock:
@@ -146,10 +151,19 @@ class PairwiseDTWCache:
     only for the pairs never seen before.  Results are bitwise identical
     to the uncached function because the same ``_dtw_batch`` kernel
     evaluates each missing pair, independently per row.
+
+    ``store`` swaps the private per-fit LRU for a view over a shared
+    :class:`~repro.engine.store.ArtifactStore` (namespace ``dtw_pair``):
+    pair keys hash profile content, so they are valid across fits and
+    across processes, and sweeps over seeds or hyper-parameters reuse
+    every unchanged pair.
     """
 
-    def __init__(self, maxsize: int = 65536) -> None:
-        self._cache = LRUCache(maxsize)
+    def __init__(self, maxsize: int = 65536, store=None) -> None:
+        if store is not None:
+            self._cache = store.view("dtw_pair")
+        else:
+            self._cache = LRUCache(maxsize)
 
     @property
     def stats(self) -> dict:

@@ -1,0 +1,658 @@
+"""Process-wide content-addressed artifact store with an optional disk tier.
+
+PR 1's :class:`~repro.engine.cache.PairwiseDTWCache` amortises the
+quadratic DTW rebuild *within* one fit; every sweep over seeds or
+hyper-parameters still re-pays identical per-pair work across fits, and
+every fresh process starts cold.  The :class:`ArtifactStore` closes both
+gaps: one thread-safe store shared by every fit in the process, keyed by
+:func:`~repro.engine.cache.array_key` content hashes and namespaced by
+artifact kind —
+
+* ``dtw_pair`` — per-pair DTW distances (floats);
+* ``mask_fill`` — mask-keyed normalised ``A_dtw^train`` adjacencies;
+* ``forecast_window`` — served per-window forecast blocks.
+
+Two tiers: a bounded-memory LRU per namespace, plus an optional disk
+tier (sharded ``.npz`` segments and a JSON manifest under a cache
+directory, typically ``$REPRO_CACHE_DIR``) so artifacts survive across
+processes.  Disk writes are atomic (temp file + ``os.replace``) and
+loads are corruption-tolerant: an unreadable segment or manifest
+degrades to a cache miss, never a crash.
+
+Bit-exactness contract: the store never transforms values.  A hit —
+memory or disk — returns exactly the floats the uncached computation
+would have produced (ndarray round-trips through ``.npz`` preserve raw
+bits, NaN payloads included), so enabling the store cannot change any
+fixed-seed metric.
+
+Invalidation is free by construction: keys hash the *content* of every
+input that determines the artifact, so changed data or hyper-parameters
+simply miss.  Stale entries are only ever evicted (memory LRU) or left
+unreferenced on disk; a cache directory can always be deleted wholesale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import warnings
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from .cache import LRUCache, array_key
+
+__all__ = [
+    "ArtifactStore",
+    "StoreView",
+    "CACHE_DIR_ENV",
+    "configure_store",
+    "default_store_scope",
+    "get_store",
+    "reset_store",
+    "resolve_store",
+    "store_active",
+]
+
+#: Environment variable that opt-ins the process-wide store with a disk
+#: tier rooted at its value (the ``--cache-dir`` CLI flags set the same
+#: directory explicitly).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+MANIFEST_NAME = "store-manifest.json"
+_FORMAT_VERSION = 1
+_MISSING = object()
+_SCALAR_KEYS = "__scalar_keys__"
+_SCALAR_VALUES = "__scalar_values__"
+_NAMESPACE_KEY = "__namespace__"
+_ARRAY_PREFIX = "a:"
+
+#: Default per-namespace memory-tier capacities.  ``dtw_pair`` entries
+#: are single floats so the tier can afford to be deep; adjacency and
+#: forecast blocks are full arrays and stay shallower.
+DEFAULT_MAXSIZE = {"dtw_pair": 1 << 17, "mask_fill": 1024, "forecast_window": 4096}
+_FALLBACK_MAXSIZE = 4096
+
+
+class ArtifactStore:
+    """Thread-safe two-tier content-addressed store.
+
+    Parameters
+    ----------
+    maxsize:
+        Memory-tier capacity: an int applied to every namespace, or a
+        ``{namespace: capacity}`` dict (missing namespaces fall back to
+        :data:`DEFAULT_MAXSIZE` / 4096).
+    disk_dir:
+        Optional disk-tier directory.  Created on first ``persist()``;
+        an existing directory's manifest and segments are indexed
+        immediately so earlier processes' artifacts are visible.
+    max_loaded_segments:
+        How many disk segments to keep decoded in memory (a segment is
+        loaded whole on its first hit — entries written together are
+        usually requested together).
+    read_only:
+        Serve from the disk tier without ever writing back: ``put``
+        still populates the memory tier, but nothing is queued for
+        ``persist()`` (which becomes a no-op).  The mode for long-lived
+        serving workers over a bundle's exported cache — without it,
+        every freshly computed block would accumulate in the dirty
+        buffer forever, since nothing in the serving path persists.
+
+    Keys are ``bytes`` (16-byte :func:`array_key` digests); values are
+    ``float`` or ``np.ndarray``.  Anything else is a ``TypeError`` at
+    ``put`` time so the disk tier can always round-trip what memory
+    holds.
+    """
+
+    def __init__(
+        self,
+        maxsize: int | dict | None = None,
+        disk_dir: str | Path | None = None,
+        *,
+        max_loaded_segments: int = 8,
+        read_only: bool = False,
+    ) -> None:
+        if isinstance(maxsize, int):
+            self._maxsize: dict = {}
+            self._fallback_maxsize = maxsize
+        else:
+            self._maxsize = dict(DEFAULT_MAXSIZE)
+            if maxsize:
+                self._maxsize.update(maxsize)
+            self._fallback_maxsize = _FALLBACK_MAXSIZE
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.max_loaded_segments = max_loaded_segments
+        self.read_only = read_only
+        self._lock = threading.RLock()
+        self._tiers: dict[str, LRUCache] = {}
+        # Disk index: (namespace, hex key) -> segment filename.
+        self._disk_index: dict[tuple[str, str], str] = {}
+        # Decoded segments, LRU-bounded: filename -> {(ns, hex): value}.
+        self._loaded: OrderedDict[str, dict] = OrderedDict()
+        # Entries written since the last persist(): (ns, key) -> value.
+        self._dirty: dict[tuple[str, bytes], object] = {}
+        self._segment_counter = 0
+        # Telemetry, per namespace.
+        self._hits: dict[str, int] = {}
+        self._disk_hits: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
+        self.corrupt_segments = 0
+        if self.disk_dir is not None and self.disk_dir.exists():
+            with self._lock:
+                self._load_disk_index()
+
+    # ------------------------------------------------------------------
+    # Core get/put
+    # ------------------------------------------------------------------
+    def _tier(self, namespace: str) -> LRUCache:
+        tier = self._tiers.get(namespace)
+        if tier is None:
+            capacity = self._maxsize.get(namespace, self._fallback_maxsize)
+            tier = self._tiers[namespace] = LRUCache(maxsize=capacity)
+            self._hits.setdefault(namespace, 0)
+            self._disk_hits.setdefault(namespace, 0)
+            self._misses.setdefault(namespace, 0)
+        return tier
+
+    def get(self, namespace: str, key: bytes, default=None):
+        """Memory-first lookup; falls back to the disk tier, then ``default``."""
+        with self._lock:
+            tier = self._tier(namespace)
+            value = tier.get(key, _MISSING)
+            if value is not _MISSING:
+                self._hits[namespace] += 1
+                return value
+            value = self._disk_get(namespace, key)
+            if value is not _MISSING:
+                self._disk_hits[namespace] += 1
+                tier.put(key, value)  # promote
+                return value
+            self._misses[namespace] += 1
+            return default
+
+    def put(self, namespace: str, key: bytes, value) -> None:
+        """Store ``value``; queued for the disk tier until :meth:`persist`."""
+        if not isinstance(key, bytes):
+            raise TypeError(f"store keys must be bytes (array_key digests), got {type(key).__name__}")
+        if isinstance(value, (bool, int)) or not isinstance(value, (float, np.ndarray)):
+            raise TypeError(
+                f"store values must be float or ndarray, got {type(value).__name__}"
+            )
+        with self._lock:
+            self._tier(namespace).put(key, value)
+            if self.disk_dir is not None and not self.read_only:
+                self._dirty[(namespace, key)] = value
+
+    def get_or_compute(self, namespace: str, key: bytes, compute):
+        """Atomic-enough get-or-put: ``compute`` runs outside the lock.
+
+        Two threads racing on one missing key may both compute; the
+        first writer wins and the loser adopts the stored value — for
+        the bit-exact artifacts kept here, which one wins is
+        unobservable.
+        """
+        value = self.get(namespace, key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            with self._lock:
+                stored = self._tier(namespace).get(key, _MISSING)
+                if stored is not _MISSING:
+                    return stored
+                self.put(namespace, key, value)
+        return value
+
+    def contains(self, namespace: str, key: bytes) -> bool:
+        """Membership across both tiers (no promotion, no counters)."""
+        with self._lock:
+            if key in self._tier(namespace):
+                return True
+            return (namespace, key.hex()) in self._disk_index
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _disk_get(self, namespace: str, key: bytes):
+        entry = (namespace, key.hex())
+        segment = self._disk_index.get(entry)
+        if segment is None:
+            return _MISSING
+        decoded = self._loaded.get(segment)
+        if decoded is None:
+            decoded = self._load_segment(segment)
+            if decoded is None:  # corrupt: index already scrubbed
+                return _MISSING
+            self._loaded[segment] = decoded
+            while len(self._loaded) > self.max_loaded_segments:
+                self._loaded.popitem(last=False)
+        else:
+            self._loaded.move_to_end(segment)
+        return decoded.get(entry, _MISSING)
+
+    def _load_segment(self, filename: str):
+        """Decode one segment; corruption scrubs it from the index."""
+        path = self.disk_dir / filename
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                namespace = None
+                if _NAMESPACE_KEY in archive.files:
+                    namespace = bytes(archive[_NAMESPACE_KEY]).decode("utf-8")
+                decoded: dict[tuple[str, str], object] = {}
+                if _SCALAR_KEYS in archive.files:
+                    for hexkey, value in zip(
+                        archive[_SCALAR_KEYS], archive[_SCALAR_VALUES]
+                    ):
+                        decoded[(namespace, str(hexkey))] = float(value)
+                for member in archive.files:
+                    if member.startswith(_ARRAY_PREFIX):
+                        decoded[(namespace, member[len(_ARRAY_PREFIX):])] = archive[member]
+                return decoded
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as error:
+            warnings.warn(f"dropping unreadable cache segment {path}: {error}")
+            self.corrupt_segments += 1
+            self._disk_index = {
+                entry: seg for entry, seg in self._disk_index.items() if seg != filename
+            }
+            return None
+
+    def _load_disk_index(self) -> None:
+        """Index the manifest (or scan segments when it is unusable)."""
+        manifest_path = self.disk_dir / MANIFEST_NAME
+        segments: dict[str, list[str]] | None = None
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text())
+                if manifest.get("format_version") == _FORMAT_VERSION:
+                    segments = {
+                        name: [(spec["namespace"], hexkey) for hexkey in spec["keys"]]
+                        for name, spec in manifest.get("segments", {}).items()
+                    }
+            except (OSError, ValueError, KeyError, TypeError) as error:
+                warnings.warn(f"unreadable cache manifest {manifest_path}: {error}")
+        if segments is None:
+            segments = {}
+        # Index every on-disk segment the manifest does not list — it
+        # carries its own namespace and keys, so the manifest is an
+        # optimisation, not the source of truth.  This covers a missing
+        # or corrupt manifest entirely, and heals the race where two
+        # processes persist concurrently and the slower writer's
+        # read-merge-replace loses the faster one's manifest entries
+        # (the segment files themselves are never clobbered).
+        for path in sorted(self.disk_dir.glob("seg-*.npz")):
+            if path.name in segments:
+                continue
+            decoded = self._load_segment(path.name)
+            if decoded is not None:
+                segments[path.name] = list(decoded.keys())
+                self._loaded[path.name] = decoded
+                while len(self._loaded) > self.max_loaded_segments:
+                    self._loaded.popitem(last=False)
+        for filename, entries in segments.items():
+            if not (self.disk_dir / filename).exists():
+                continue
+            for namespace, hexkey in entries:
+                self._disk_index[(namespace, hexkey)] = filename
+
+    def persist(self) -> int:
+        """Flush queued entries to new disk segments; returns entry count.
+
+        Atomic per file: segments and the manifest are staged next to
+        their final name and ``os.replace``d, so a crashed writer leaves
+        at worst a ``.tmp`` straggler, never a half-written archive.
+        Concurrent writers from other processes are tolerated: the
+        manifest is re-read and their segment entries carried over, and
+        even when two overlapping persists race the read-merge-replace
+        (last replace wins), nothing is lost — segment files are never
+        clobbered, and ``_load_disk_index`` re-indexes any on-disk
+        segment the manifest fails to mention.  No-op without a disk
+        tier, in ``read_only`` mode, or with nothing dirty.
+        """
+        with self._lock:
+            if self.disk_dir is None or not self._dirty:
+                return 0
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            by_namespace: dict[str, dict[bytes, object]] = {}
+            for (namespace, key), value in self._dirty.items():
+                by_namespace.setdefault(namespace, {})[key] = value
+            written = 0
+            new_segments: dict[str, dict] = {}
+            for namespace, entries in sorted(by_namespace.items()):
+                filename = self._next_segment_name(namespace)
+                scalar_keys, scalar_values, payload = [], [], {}
+                for key, value in entries.items():
+                    if isinstance(value, float):
+                        scalar_keys.append(key.hex())
+                        scalar_values.append(value)
+                    else:
+                        payload[_ARRAY_PREFIX + key.hex()] = value
+                payload[_NAMESPACE_KEY] = np.frombuffer(
+                    namespace.encode("utf-8"), dtype=np.uint8
+                )
+                if scalar_keys:
+                    payload[_SCALAR_KEYS] = np.asarray(scalar_keys)
+                    payload[_SCALAR_VALUES] = np.asarray(scalar_values, dtype=np.float64)
+                staging = self.disk_dir / (filename + ".tmp")
+                with open(staging, "wb") as handle:
+                    np.savez(handle, **payload)
+                os.replace(staging, self.disk_dir / filename)
+                hexkeys = [key.hex() for key in entries]
+                new_segments[filename] = {"namespace": namespace, "keys": hexkeys}
+                for hexkey in hexkeys:
+                    self._disk_index[(namespace, hexkey)] = filename
+                written += len(entries)
+            self._write_manifest(new_segments)
+            self._dirty.clear()
+            return written
+
+    def _next_segment_name(self, namespace: str) -> str:
+        slug = "".join(c if c.isalnum() or c in "-_" else "_" for c in namespace)
+        while True:
+            self._segment_counter += 1
+            name = f"seg-{os.getpid()}-{self._segment_counter:06d}-{slug}.npz"
+            if not (self.disk_dir / name).exists():
+                return name
+
+    def _write_manifest(self, new_segments: dict[str, dict]) -> None:
+        manifest_path = self.disk_dir / MANIFEST_NAME
+        segments: dict[str, dict] = {}
+        if manifest_path.exists():  # merge concurrent writers' entries
+            try:
+                existing = json.loads(manifest_path.read_text())
+                if existing.get("format_version") == _FORMAT_VERSION:
+                    segments = {
+                        name: spec
+                        for name, spec in existing.get("segments", {}).items()
+                        if (self.disk_dir / name).exists()
+                    }
+            except (OSError, ValueError, KeyError, TypeError):
+                pass  # rebuilt below from what we know
+        # Re-record every indexed entry whose segment the on-disk
+        # manifest no longer (fully) lists — per segment, merging keys,
+        # so a rescued multi-key segment is written back whole.
+        known = {name: set(spec["keys"]) for name, spec in segments.items()}
+        for (namespace, hexkey), filename in self._disk_index.items():
+            if filename in new_segments:
+                continue
+            spec = segments.setdefault(filename, {"namespace": namespace, "keys": []})
+            keys = known.setdefault(filename, set())
+            if hexkey not in keys:
+                keys.add(hexkey)
+                spec["keys"].append(hexkey)
+        segments.update(new_segments)
+        manifest = {"format_version": _FORMAT_VERSION, "segments": segments}
+        staging = manifest_path.with_suffix(".json.tmp")
+        staging.write_text(json.dumps(manifest) + "\n")
+        os.replace(staging, manifest_path)
+
+    def export(self, directory: str | Path) -> int:
+        """Write the store's *entire* contents as a fresh disk tier.
+
+        Used to embed warmed cache contents in serving bundles: the
+        target directory gets its own segments + manifest, readable by
+        ``ArtifactStore(disk_dir=...)`` in any later process.  Returns
+        the number of entries exported.
+        """
+        target = ArtifactStore(disk_dir=directory)
+        with self._lock:
+            for namespace, tier in self._tiers.items():
+                for key, value in tier.items():
+                    target.put(namespace, key, value)
+            for (namespace, hexkey), _segment in list(self._disk_index.items()):
+                key = bytes.fromhex(hexkey)
+                value = self._disk_get(namespace, key)
+                if value is not _MISSING:
+                    target.put(namespace, key, value)
+        return target.persist()
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the memory tier and decoded segments (disk index stays).
+
+        After this, every lookup pays the disk path again — the
+        cold-start-from-disk scenario the benchmark measures.
+        """
+        with self._lock:
+            for tier in self._tiers.values():
+                tier.clear()
+            self._loaded.clear()
+
+    @property
+    def stats(self) -> dict:
+        """Per-namespace and total hit/miss/size counters."""
+        with self._lock:
+            namespaces = {}
+            disk_items: dict[str, int] = {}
+            for namespace, _hexkey in self._disk_index:
+                disk_items[namespace] = disk_items.get(namespace, 0) + 1
+            for namespace in sorted(set(self._tiers) | set(disk_items)):
+                tier = self._tiers.get(namespace)
+                namespaces[namespace] = {
+                    "hits": self._hits.get(namespace, 0),
+                    "disk_hits": self._disk_hits.get(namespace, 0),
+                    "misses": self._misses.get(namespace, 0),
+                    "memory_items": len(tier) if tier is not None else 0,
+                    "disk_items": disk_items.get(namespace, 0),
+                }
+            totals = {
+                field: sum(ns[field] for ns in namespaces.values())
+                for field in ("hits", "disk_hits", "misses", "memory_items", "disk_items")
+            }
+            totals["dirty"] = len(self._dirty)
+            totals["corrupt_segments"] = self.corrupt_segments
+            return {"namespaces": namespaces, "totals": totals}
+
+    def view(self, namespace: str, scope: bytes | str = b"") -> "StoreView":
+        """A cache-shaped handle over one namespace (see :class:`StoreView`)."""
+        return StoreView(self, namespace, scope)
+
+
+class StoreView:
+    """LRUCache-shaped adapter over one store namespace.
+
+    Drop-in for the places that previously owned a private
+    :class:`~repro.engine.cache.LRUCache` — the per-pair DTW cache, the
+    mask-adjacency cache, the serving result cache — so they can draw
+    from the shared store without changing their call sites.
+
+    ``scope`` is mixed into every key: two views with different scopes
+    (e.g. two served models caching ``forecast_window`` blocks by the
+    same integer start) can never collide.  ``bytes`` keys with an empty
+    scope pass through untouched, so globally content-addressed keys
+    (DTW pair digests) stay shareable across *all* fits.
+
+    ``clear()`` resets only this view's counters — a view is a window
+    onto shared state and must not wipe other fits' artifacts.
+    """
+
+    def __init__(self, store: ArtifactStore, namespace: str, scope: bytes | str = b"") -> None:
+        self._store = store
+        self.namespace = namespace
+        self._scope = scope if isinstance(scope, bytes) else scope.encode("utf-8")
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        # Distinct keys this view has stored or retrieved (for __len__,
+        # e.g. warm-up counting); keys are 16-byte digests, so even a
+        # long-lived view's set stays small.
+        self._keys: set[bytes] = set()
+
+    def _map(self, key) -> bytes:
+        if isinstance(key, bytes) and not self._scope:
+            return key
+        return array_key(self._scope, key)
+
+    def __contains__(self, key) -> bool:
+        return self._store.contains(self.namespace, self._map(key))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+    def get(self, key, default=None):
+        mapped = self._map(key)
+        value = self._store.get(self.namespace, mapped, _MISSING)
+        with self._lock:
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._keys.add(mapped)
+        return value
+
+    def put(self, key, value) -> None:
+        mapped = self._map(key)
+        self._store.put(self.namespace, mapped, value)
+        with self._lock:
+            self._keys.add(mapped)
+
+    def get_or_compute(self, key, compute):
+        mapped = self._map(key)
+        computed = []
+
+        def instrumented():
+            computed.append(True)
+            return compute()
+
+        # One store lookup total: the view's hit/miss is derived from
+        # whether the compute hook actually ran, so the store-level
+        # counters record exactly one probe per call.
+        value = self._store.get_or_compute(self.namespace, mapped, instrumented)
+        with self._lock:
+            if computed:
+                self.misses += 1
+            else:
+                self.hits += 1
+            self._keys.add(mapped)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def stats(self) -> dict:
+        store_stats = self._store.stats["namespaces"].get(self.namespace, {})
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._keys),
+                "namespace": self.namespace,
+                "store": store_stats,
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-wide store
+# ----------------------------------------------------------------------
+_process_store: ArtifactStore | None = None
+_process_lock = threading.Lock()
+
+
+def configure_store(
+    disk_dir: str | Path | None = None,
+    maxsize: int | dict | None = None,
+    store: ArtifactStore | None = None,
+) -> ArtifactStore:
+    """Install the process-wide store (replacing any existing one)."""
+    global _process_store
+    with _process_lock:
+        _process_store = store if store is not None else ArtifactStore(
+            maxsize=maxsize, disk_dir=disk_dir
+        )
+        return _process_store
+
+
+def get_store() -> ArtifactStore:
+    """The process-wide store, created on first use.
+
+    A fresh store picks its disk tier up from ``$REPRO_CACHE_DIR`` (no
+    disk tier when unset).  The directory is read once — reconfigure
+    explicitly via :func:`configure_store` to move it.
+    """
+    global _process_store
+    with _process_lock:
+        if _process_store is None:
+            _process_store = ArtifactStore(disk_dir=os.environ.get(CACHE_DIR_ENV) or None)
+        return _process_store
+
+
+def store_active() -> bool:
+    """Whether cross-fit caching is opted into for this process."""
+    return _process_store is not None or bool(os.environ.get(CACHE_DIR_ENV))
+
+
+def resolve_store(flag: bool | None = None) -> ArtifactStore | None:
+    """Map a three-state config flag to a store (or per-fit isolation).
+
+    Falsy (but not ``None``) → ``None`` (private per-fit caches, the
+    default behaviour); truthy → the process store, creating it if
+    needed; ``None`` → the process store only when the process has
+    opted in (``$REPRO_CACHE_DIR`` set or :func:`configure_store`
+    called).  Truthiness rather than identity, so an accidental ``0``
+    or ``1`` forces isolation or sharing as the caller plainly meant.
+    """
+    if flag is None:
+        return get_store() if store_active() else None
+    return get_store() if flag else None
+
+
+def reset_store() -> None:
+    """Drop the process-wide store (tests / benchmark isolation)."""
+    global _process_store
+    with _process_lock:
+        _process_store = None
+
+
+def default_store_scope(forecaster) -> bytes | None:
+    """Content-addressed scope for one fitted forecaster's cached results.
+
+    Hashes everything a served forecast block depends on: the network
+    weights, configuration, scaler, dataset identity and split index
+    sets.  A checkpoint restored bitwise in another process (PR 4
+    bundles) therefore derives the *same* scope and can serve the warmed
+    ``forecast_window`` entries.  Returns ``None`` when the forecaster
+    has no snapshotable network (naive baselines), in which case callers
+    should fall back to a private cache.
+    """
+    network = getattr(forecaster, "network", None)
+    state_dict = getattr(network, "state_dict", None)
+    if network is None or state_dict is None:
+        return None
+    parts: list = ["forecast-scope/v1", type(forecaster).__name__,
+                   getattr(forecaster, "name", "")]
+    config = getattr(forecaster, "config", None)
+    if config is not None:
+        if dataclasses.is_dataclass(config):
+            # cache_store is guaranteed metric-neutral (it only selects
+            # where artifacts are cached), so it must not partition the
+            # scope: a model fit with the store forced on and the same
+            # model fit under the env-var opt-in share their windows.
+            fields = sorted(
+                (f.name, repr(getattr(config, f.name)))
+                for f in dataclasses.fields(config)
+                if f.name != "cache_store"
+            )
+            parts.append(repr(fields))
+        else:
+            parts.append(repr(config))
+    dataset = getattr(forecaster, "dataset", None)
+    if dataset is not None:
+        parts.append(getattr(dataset, "name", ""))
+    split = getattr(forecaster, "split", None)
+    if split is not None:
+        parts.extend([split.observed, split.unobserved])
+    scaler = getattr(forecaster, "scaler", None)
+    if scaler is not None:
+        parts.extend([np.asarray(scaler.mean_), np.asarray(scaler.std_)])
+    state = state_dict()
+    for key in sorted(state):
+        parts.extend([key, state[key]])
+    return array_key(*parts)

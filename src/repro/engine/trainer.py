@@ -145,6 +145,12 @@ class Trainer:
     schedulers:
         LR schedulers whose ``step()`` advances once per completed epoch
         (after the epoch's gradient steps, before the next epoch).
+    store:
+        Optional shared :class:`~repro.engine.store.ArtifactStore` the
+        program's caches draw from; the trainer persists its dirty
+        entries to the disk tier once the loop finishes, so artifacts
+        computed during this fit survive into later processes (a no-op
+        for memory-only stores).
     """
 
     def __init__(
@@ -155,6 +161,7 @@ class Trainer:
         rng: np.random.Generator | None = None,
         early_stopping: EarlyStopping | None = None,
         schedulers: Iterable | None = None,
+        store=None,
     ) -> None:
         if max_epochs < 0:
             raise ValueError(f"max_epochs must be >= 0, got {max_epochs}")
@@ -163,6 +170,7 @@ class Trainer:
         self.rng = rng
         self.early_stopping = early_stopping
         self.schedulers = list(schedulers) if schedulers is not None else []
+        self.store = store
         self.history = History()
 
     def fit(self) -> History:
@@ -182,6 +190,8 @@ class Trainer:
                     break
         if self.early_stopping is not None:
             self.early_stopping.restore(program.load_state_dict)
+        if self.store is not None:
+            self.store.persist()
         return self.history
 
     def restore(self, checkpoint_dir=None) -> bool:

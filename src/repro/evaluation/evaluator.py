@@ -68,6 +68,7 @@ def evaluate_forecaster(
     test_stride: int | None = None,
     max_test_windows: int | None = 64,
     use_service: bool = False,
+    store=None,
 ) -> EvaluationResult:
     """Fit and evaluate one model on one dataset/split.
 
@@ -83,6 +84,13 @@ def evaluate_forecaster(
     either way; for stateful ones (GE-GAN) the service issues
     per-window ``predict`` calls, which draw different noise than one
     batched call, so its metrics differ between the two paths.
+
+    ``store`` (with ``use_service``) draws the per-window result cache
+    from a shared :class:`~repro.engine.ArtifactStore`: repeated sweeps
+    over the same fitted model content serve their test windows from
+    the store (bit-exact hits, so metrics are unchanged).  Models with
+    no derivable content scope (naive baselines) silently keep a
+    private cache.
     """
     split.validate(dataset.num_locations)
     train_ix, _test_ix = temporal_split(dataset.num_steps, train_fraction)
@@ -94,9 +102,17 @@ def evaluate_forecaster(
     extra: dict = {}
     began = time.perf_counter()
     if use_service:
-        from ..serving import ForecastService  # local import: avoid cycle
+        from ..engine import default_store_scope  # local import: avoid cycle
+        from ..serving import ForecastService
 
-        service = ForecastService(forecaster, cache_size=max(len(starts), 1))
+        service_kwargs: dict = {}
+        if store is not None:
+            scope = default_store_scope(forecaster)  # hash weights once
+            if scope is not None:
+                service_kwargs = {"store": store, "store_scope": scope}
+        service = ForecastService(
+            forecaster, cache_size=max(len(starts), 1), **service_kwargs
+        )
         predictions = service.forecast(starts)
         extra["service"] = service.stats
     else:

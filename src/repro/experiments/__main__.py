@@ -51,6 +51,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", default=None,
                         help="array backend for all models (default: REPRO_BACKEND "
                              "env var or numpy_ref); see repro.backend")
+    parser.add_argument("--cache-dir", default=None,
+                        help="enable the cross-fit artifact store with a disk tier "
+                             "at this directory (same as setting REPRO_CACHE_DIR): "
+                             "sweeps reuse DTW pairs, masked adjacencies and served "
+                             "windows across fits and across runs, bit-exactly")
     parser.add_argument("--service", action="store_true",
                         help="route test predictions through the batched/cached "
                              "ForecastService (experiments that support it)")
@@ -72,6 +77,11 @@ def main(argv: list[str] | None = None) -> int:
         from ..backend import set_backend
 
         set_backend(args.backend)
+
+    if args.cache_dir is not None:
+        from ..engine import configure_store
+
+        configure_store(disk_dir=args.cache_dir)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -124,6 +124,7 @@ def run_matrix(
     splits: list[SpaceSplit] | None = None,
     seed: int = 0,
     use_service: bool = False,
+    cache_store: bool | None = None,
     **stsm_overrides,
 ) -> dict[str, dict]:
     """Evaluate each model on each split; return per-model averages.
@@ -133,22 +134,40 @@ def run_matrix(
     outputs for stateless models; service counters appear in each
     result's ``extra``).
 
+    ``cache_store`` controls cross-fit artifact reuse through the
+    process-wide :class:`~repro.engine.ArtifactStore`: ``None`` follows
+    the process opt-in (``$REPRO_CACHE_DIR`` / ``configure_store``),
+    ``True``/``False`` force it on or off for this sweep.  With the
+    store active, STSM fits share DTW pairs and masked adjacencies
+    across seeds and hyper-parameters, served test windows are reused
+    across repeated sweeps, and dirty entries are persisted to the disk
+    tier before returning — all bit-exact, so sweep metrics are
+    identical to the store-disabled path.
+
     Returns ``{model_name: {"metrics": Metrics, "results": [...],
     "train_seconds": float, "test_seconds": float}}``.
     """
+    from ..engine import resolve_store  # local import: keep runners light
+
+    store = resolve_store(cache_store)
     splits = splits if splits is not None else splits_for(dataset, scale)
     spec = scale.window_spec(dataset_key)
     out: dict[str, dict] = {}
     for model_name in model_names:
         results: list[EvaluationResult] = []
         for split in splits:
+            overrides = dict(stsm_overrides)
+            if cache_store is not None:
+                # Reaches STSM-family configs; baseline builders ignore
+                # the stsm_overrides channel entirely.
+                overrides["cache_store"] = cache_store
             model = build_model(
                 model_name,
                 dataset_key,
                 scale,
                 num_observed=len(split.observed),
                 seed=seed,
-                **stsm_overrides,
+                **overrides,
             )
             results.append(
                 evaluate_forecaster(
@@ -158,6 +177,7 @@ def run_matrix(
                     spec,
                     max_test_windows=scale.max_test_windows,
                     use_service=use_service,
+                    store=store if use_service else None,
                 )
             )
         out[model_name] = {
@@ -166,4 +186,6 @@ def run_matrix(
             "train_seconds": float(np.mean([r.fit_report.train_seconds for r in results])),
             "test_seconds": float(np.mean([r.test_seconds for r in results])),
         }
+    if store is not None:
+        store.persist()  # flush served windows (fits persist themselves)
     return out

@@ -64,6 +64,10 @@ def _add_demo_bundle(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--warmup-windows", type=int, default=16,
                    help="window starts recorded in the manifest for "
                         "server-side warm-up")
+    p.add_argument("--with-cache", action="store_true",
+                   help="export a warmed artifact store into the bundle's "
+                        "cache/ directory (DTW pairs + precomputed warm-up "
+                        "forecast blocks), so servers boot hot")
 
 
 def _add_query(sub: argparse._SubParsersAction) -> None:
@@ -105,9 +109,18 @@ def _cmd_demo_bundle(args: argparse.Namespace) -> int:
     from ..core import STSMConfig, STSMForecaster
     from ..data import WindowSpec, space_split, temporal_split
     from ..data.synthetic import make_dataset
+    from ..engine import ArtifactStore, configure_store
     from ..evaluation import forecast_window_starts
+    from .service import ForecastService
     from .transport import BundleEntry, save_bundle
 
+    # A *private* store installed process-wide: the fits below park
+    # their DTW pairs and masked adjacencies in it automatically, so
+    # the exported bundle cache carries fit artifacts too, not just
+    # the warm-up forecast blocks — but never the contents of a
+    # pre-existing $REPRO_CACHE_DIR tier, which would bloat the bundle
+    # with every unrelated past fit's artifacts.
+    store = configure_store(store=ArtifactStore()) if args.with_cache else None
     entries: dict[str, BundleEntry] = {}
     for offset, name in enumerate(args.datasets):
         seed = args.seed + offset
@@ -129,13 +142,19 @@ def _cmd_demo_bundle(args: argparse.Namespace) -> int:
         model.fit(dataset, split, spec, train_ix)
         starts = forecast_window_starts(dataset, spec,
                                         max_windows=args.warmup_windows)
+        if store is not None:
+            # Precompute the warm-up blocks through the serving path and
+            # park them in the store under the model's content scope —
+            # the exported cache/ tier then serves them on worker boot.
+            ForecastService(model, store=store).forecast(np.asarray(starts))
         entries[f"stsm/{name}"] = BundleEntry(
             forecaster=model,
             dataset=recipe,
             warmup_starts=[int(s) for s in np.asarray(starts)],
         )
-    manifest = save_bundle(args.output_dir, entries)
-    print(f"[demo-bundle] wrote {manifest} ({len(entries)} models)")
+    manifest = save_bundle(args.output_dir, entries, store=store)
+    print(f"[demo-bundle] wrote {manifest} ({len(entries)} models"
+          f"{', warmed cache' if store is not None else ''})")
     return 0
 
 

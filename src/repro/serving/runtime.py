@@ -228,6 +228,12 @@ class ServingRuntime:
             "windows_computed": sum(
                 s["service"]["windows_computed"] for s in per_model.values()
             ),
+            # Post-flush evictions that forced a recompute: real misses
+            # under a shared bounded store, surfaced so serving hit-rate
+            # dashboards don't over-report.
+            "eviction_recomputes": sum(
+                s["service"]["eviction_recomputes"] for s in per_model.values()
+            ),
         }
         requests = fast_hits + sum(
             s["service"]["requests"] for s in per_model.values()

@@ -73,8 +73,12 @@ class ForecastHandle:
             # Evicted between flush and pickup (cache smaller than the
             # flush) — recompute just this window.  Under the service
             # lock: a bare _pending insert could land mid-iteration of a
-            # concurrent flush's pending sweep.
+            # concurrent flush's pending sweep.  The recompute is
+            # recorded as an eviction miss so hit-rate telemetry stays
+            # truthful when a shared bounded store drops entries between
+            # flush and pickup.
             with self._service._lock:
+                self._service.eviction_recomputes += 1
                 self._service._pending[self.start] = None
                 self._service.flush()
                 value = self._service._results.get(self.start, _MISSING)
@@ -117,6 +121,19 @@ class ForecastService:
         (e.g. between a scheduler-fronted service and a direct one over
         the same model).  The engine cache is thread-safe, so sharing
         across threads is sound; when given, ``cache_size`` is ignored.
+    store:
+        Optionally draw the result cache from a shared
+        :class:`~repro.engine.ArtifactStore` (namespace
+        ``forecast_window``) instead of a private LRU: blocks computed
+        by other services over the same model content — earlier
+        processes, warmed checkpoint bundles — are then served without
+        recomputation.  Mutually exclusive with ``cache``.
+    store_scope:
+        Content scope separating this model's windows from every other
+        model's in the shared store.  Defaults to
+        :func:`~repro.engine.default_store_scope` (a hash of weights,
+        config, dataset and split); required explicitly when that
+        returns ``None``.
     log_batches:
         Record the window-start batch of every issued ``predict`` call
         in :attr:`batch_log` (a bounded deque keeping the most recent
@@ -135,6 +152,8 @@ class ForecastService:
         stateless_predict: bool | None = None,
         cache: LRUCache | None = None,
         log_batches: bool = False,
+        store=None,
+        store_scope: bytes | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -146,7 +165,21 @@ class ForecastService:
         if stateless_predict is None:
             stateless_predict = getattr(forecaster, "stateless_predict", True)
         self.stateless_predict = stateless_predict
-        self._results = cache if cache is not None else LRUCache(maxsize=cache_size)
+        if store is not None:
+            if cache is not None:
+                raise ValueError("pass either cache= or store=, not both")
+            if store_scope is None:
+                from ..engine import default_store_scope  # local: avoid cycle
+
+                store_scope = default_store_scope(forecaster)
+            if store_scope is None:
+                raise ValueError(
+                    "store= needs a content scope; this forecaster has no "
+                    "snapshotable network, pass store_scope= explicitly"
+                )
+            self._results = store.view("forecast_window", scope=store_scope)
+        else:
+            self._results = cache if cache is not None else LRUCache(maxsize=cache_size)
         #: Window-start composition of recent predict calls, when
         #: ``log_batches`` is on (parity replay for the load benchmark).
         self.batch_log: deque[np.ndarray] | None = None
@@ -169,6 +202,10 @@ class ForecastService:
         self.cache_hits = 0
         #: Requests folded into an already-pending window (batch dedup).
         self.coalesced = 0
+        #: Windows whose flushed result was evicted before pickup and had
+        #: to be recomputed — a real cache miss under a shared bounded
+        #: store, recorded so hit-rate stats stay truthful.
+        self.eviction_recomputes = 0
 
     # ------------------------------------------------------------------
     # Request intake
@@ -298,5 +335,6 @@ class ForecastService:
             "cache_hits": self.cache_hits,
             "cache_hit_pct": 100.0 * self.cache_hits / requests if requests else 0.0,
             "coalesced": self.coalesced,
+            "eviction_recomputes": self.eviction_recomputes,
             "cache": self._results.stats,
         }

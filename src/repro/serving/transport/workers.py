@@ -6,7 +6,13 @@ format) plus a ``manifest.json`` recording, per model key, the synthetic
 dataset recipe (name / sensors / days / seed — enough to rebuild the
 exact data context deterministically), the spatial split's index sets,
 and optional warm-up window starts.  :func:`save_bundle` writes one from
-fitted models; :func:`load_bundle` restores every forecaster.
+fitted models; :func:`load_bundle` restores every forecaster.  A bundle
+may additionally carry a ``cache/`` directory — an exported
+:class:`~repro.engine.ArtifactStore` disk tier holding the DTW pairs
+and warmed ``forecast_window`` blocks from training time — in which
+case every worker boots with a hot result cache: warm-up windows are
+served from the store instead of recomputed, and the content-addressed
+scopes guarantee the served bytes equal the training-process bytes.
 
 **Launcher** — ``python -m repro.serving serve --checkpoint-dir D
 --workers N``: each worker process loads the bundle, registers every
@@ -37,12 +43,15 @@ from pathlib import Path
 
 import numpy as np
 
+from ...engine import ArtifactStore, default_store_scope
 from ..runtime import ServingRuntime
+from ..service import ForecastService
 from .http_server import DEFAULT_MAX_BODY_BYTES, ForecastHTTPServer
 
 __all__ = [
     "BundleEntry",
     "ServeConfig",
+    "bundle_cache_dir",
     "load_bundle",
     "run_worker",
     "launch",
@@ -52,6 +61,7 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 _MANIFEST_VERSION = 1
+_CACHE_SUBDIR = "cache"
 
 
 def reuse_port_supported() -> bool:
@@ -80,13 +90,26 @@ def _slug(key: str) -> str:
     return "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
 
 
-def save_bundle(directory: str | Path, entries: dict[str, BundleEntry]) -> Path:
-    """Write a servable checkpoint bundle for ``entries``."""
+def save_bundle(
+    directory: str | Path,
+    entries: dict[str, BundleEntry],
+    store: ArtifactStore | None = None,
+) -> Path:
+    """Write a servable checkpoint bundle for ``entries``.
+
+    ``store`` additionally exports the artifact store's full contents —
+    DTW pairs, mask adjacencies and (most usefully) warmed
+    ``forecast_window`` blocks — into the bundle's ``cache/`` directory,
+    so servers booting from the bundle start hot.
+    """
     from ...core import save_forecaster  # local import: core pulls the full model stack
 
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     manifest: dict = {"format_version": _MANIFEST_VERSION, "models": {}}
+    if store is not None:
+        exported = store.export(directory / _CACHE_SUBDIR)
+        manifest["cache"] = {"dir": _CACHE_SUBDIR, "entries": exported}
     slugs: dict[str, str] = {}
     for key, entry in sorted(entries.items()):
         if "name" not in entry.dataset:
@@ -153,6 +176,26 @@ def load_bundle(directory: str | Path) -> dict[str, tuple[object, list[int]]]:
     return models
 
 
+def bundle_cache_dir(directory: str | Path) -> Path | None:
+    """The bundle's exported artifact-store directory, if it has one.
+
+    Tolerant by design: a missing or unreadable manifest falls back to
+    probing the conventional ``cache/`` subdirectory, and a manifest
+    pointing at a directory that no longer exists reads as "no cache" —
+    a bundle must stay servable (cold) even if its cache was deleted.
+    """
+    directory = Path(directory)
+    candidate = directory / _CACHE_SUBDIR
+    try:
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        configured = manifest.get("cache", {}).get("dir")
+        if configured:
+            candidate = directory / configured
+    except (OSError, ValueError, AttributeError):
+        pass
+    return candidate if candidate.is_dir() else None
+
+
 # ----------------------------------------------------------------------
 # Launcher
 # ----------------------------------------------------------------------
@@ -186,8 +229,24 @@ class ServeConfig:
 
 
 def _build_runtime(config: ServeConfig) -> tuple[ServingRuntime, dict[str, list[int]]]:
-    """Load the bundle and host every model; returns (runtime, warmups)."""
+    """Load the bundle and host every model; returns (runtime, warmups).
+
+    A bundle carrying an exported artifact store boots hot: each model's
+    result cache is a scoped view over the store, so warm-up (and live
+    traffic for previously served windows) hits disk-persisted blocks
+    instead of recomputing them.  The scope is derived from the restored
+    model's content — bitwise identical to the training process's — so
+    hits are exactly the bytes that process computed.
+    """
     bundle = load_bundle(config.checkpoint_dir)
+    cache_dir = bundle_cache_dir(config.checkpoint_dir)
+    # read_only: a serving worker must neither mutate the shared bundle
+    # nor accumulate an ever-growing dirty buffer it never persists.
+    store = (
+        ArtifactStore(disk_dir=cache_dir, read_only=True)
+        if cache_dir is not None
+        else None
+    )
     runtime = ServingRuntime(
         deadline_ms=config.deadline_ms,
         max_batch=config.max_batch,
@@ -199,7 +258,21 @@ def _build_runtime(config: ServeConfig) -> tuple[ServingRuntime, dict[str, list[
     )
     warmups = {}
     for key, (forecaster, warmup_starts) in bundle.items():
-        runtime.register(key, forecaster)
+        scope = default_store_scope(forecaster) if store is not None else None
+        if store is not None and scope is not None:
+            service = ForecastService(
+                forecaster,
+                max_batch_size=config.max_batch,
+                log_batches=config.log_batches,
+                store=store,
+                store_scope=scope,
+            )
+            runtime.register(key, service)
+        else:
+            # No derivable content scope (no snapshotable network):
+            # serve cold with a private cache rather than refusing to
+            # boot — a bundle must stay servable in every case.
+            runtime.register(key, forecaster)
         warmups[key] = warmup_starts
     return runtime, warmups
 

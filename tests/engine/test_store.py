@@ -1,0 +1,390 @@
+"""ArtifactStore unit suite: tiers, disk round-trips, corruption, views."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CACHE_DIR_ENV,
+    ArtifactStore,
+    array_key,
+    configure_store,
+    get_store,
+    reset_store,
+    resolve_store,
+    store_active,
+)
+from repro.engine.store import MANIFEST_NAME
+
+
+def _key(*parts) -> bytes:
+    return array_key(*parts)
+
+
+class TestMemoryTier:
+    def test_get_put_roundtrip(self):
+        store = ArtifactStore()
+        store.put("dtw_pair", _key(1), 2.5)
+        assert store.get("dtw_pair", _key(1)) == 2.5
+        assert store.get("dtw_pair", _key(2)) is None
+
+    def test_namespace_isolation(self):
+        store = ArtifactStore()
+        key = _key("shared")
+        store.put("dtw_pair", key, 1.0)
+        store.put("mask_fill", key, np.ones(3))
+        assert store.get("dtw_pair", key) == 1.0
+        assert np.array_equal(store.get("mask_fill", key), np.ones(3))
+        assert store.get("forecast_window", key) is None
+
+    def test_eviction_under_maxsize(self):
+        store = ArtifactStore(maxsize=2)
+        keys = [_key(i) for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put("dtw_pair", key, float(i))
+        assert store.get("dtw_pair", keys[0]) is None  # evicted
+        assert store.get("dtw_pair", keys[2]) == 2.0
+        totals = store.stats["totals"]
+        assert totals["memory_items"] == 2
+
+    def test_per_namespace_maxsize(self):
+        store = ArtifactStore(maxsize={"mask_fill": 1})
+        store.put("mask_fill", _key(1), np.ones(1))
+        store.put("mask_fill", _key(2), np.ones(1))
+        assert store.get("mask_fill", _key(1)) is None
+        assert store.get("mask_fill", _key(2)) is not None
+
+    def test_rejects_unpersistable_values(self):
+        store = ArtifactStore()
+        with pytest.raises(TypeError):
+            store.put("dtw_pair", _key(1), "a string")
+        with pytest.raises(TypeError):
+            store.put("dtw_pair", _key(1), 7)  # int is not float
+        with pytest.raises(TypeError):
+            store.put("dtw_pair", "not-bytes", 1.0)
+
+    def test_get_or_compute_computes_once_per_content(self):
+        store = ArtifactStore()
+        calls = []
+        value = store.get_or_compute("dtw_pair", _key("x"), lambda: calls.append(1) or 3.0)
+        again = store.get_or_compute("dtw_pair", _key("x"), lambda: calls.append(1) or 4.0)
+        assert value == again == 3.0
+        assert len(calls) == 1
+
+    def test_concurrent_get_or_put(self):
+        store = ArtifactStore()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker(i):
+            barrier.wait()
+            for n in range(50):
+                value = store.get_or_compute(
+                    "dtw_pair", _key(n % 10), lambda n=n: float(n % 10)
+                )
+                results.append((n % 10, value))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every reader saw the content-correct value for its key.
+        assert all(value == float(n) for n, value in results)
+        assert len(results) == 8 * 50
+
+
+class TestDiskTier:
+    def test_disk_roundtrip_bitwise(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        arr = np.random.default_rng(0).normal(size=(5, 3))
+        arr[0, 0] = np.nan  # NaN payload bits must survive
+        store.put("mask_fill", _key("m"), arr)
+        store.put("dtw_pair", _key("d"), 0.1 + 0.2)
+        assert store.persist() == 2
+        assert store.persist() == 0  # dirty set cleared
+
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        restored = fresh.get("mask_fill", _key("m"))
+        assert restored.tobytes() == arr.tobytes()
+        assert restored.dtype == arr.dtype
+        assert fresh.get("dtw_pair", _key("d")) == 0.1 + 0.2
+        assert fresh.stats["totals"]["disk_hits"] == 2
+
+    def test_disk_promotes_into_memory(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key(1), 5.0)
+        store.persist()
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        fresh.get("dtw_pair", _key(1))
+        fresh.get("dtw_pair", _key(1))
+        totals = fresh.stats["totals"]
+        assert totals["disk_hits"] == 1 and totals["hits"] == 1
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key(1), 5.0)
+        store.persist()
+        store.clear_memory()
+        assert store.get("dtw_pair", _key(1)) == 5.0
+        assert store.stats["totals"]["disk_hits"] == 1
+
+    def test_corrupted_segment_recovers_as_miss(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key(1), 5.0)
+        store.put("mask_fill", _key(2), np.ones(2))
+        store.persist()
+        segment = next(tmp_path.glob("seg-*dtw_pair*.npz"))
+        segment.write_bytes(b"\x00garbage\x00")
+
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        with pytest.warns(UserWarning, match="unreadable cache segment"):
+            assert fresh.get("dtw_pair", _key(1)) is None
+        # Sibling namespace's segment is untouched.
+        assert np.array_equal(fresh.get("mask_fill", _key(2)), np.ones(2))
+        assert fresh.corrupt_segments == 1
+
+    def test_corrupted_manifest_rescans_segments(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key(1), 5.0)
+        store.persist()
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.warns(UserWarning, match="unreadable cache manifest"):
+            fresh = ArtifactStore(disk_dir=tmp_path)
+        assert fresh.get("dtw_pair", _key(1)) == 5.0
+
+    def test_missing_manifest_rescans_segments(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key(1), 5.0)
+        store.persist()
+        (tmp_path / MANIFEST_NAME).unlink()
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        assert fresh.get("dtw_pair", _key(1)) == 5.0
+
+    def test_manifest_merges_concurrent_writers(self, tmp_path):
+        a = ArtifactStore(disk_dir=tmp_path)
+        b = ArtifactStore(disk_dir=tmp_path)
+        a.put("dtw_pair", _key("a"), 1.0)
+        b.put("dtw_pair", _key("b"), 2.0)
+        a.persist()
+        b.persist()  # must not clobber a's manifest entries
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        assert fresh.get("dtw_pair", _key("a")) == 1.0
+        assert fresh.get("dtw_pair", _key("b")) == 2.0
+
+    def test_no_tmp_stragglers_after_persist(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key(1), 5.0)
+        store.persist()
+        assert not list(tmp_path.glob("*.tmp"))
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == 1
+
+    def test_export_full_contents(self, tmp_path):
+        source = ArtifactStore(disk_dir=tmp_path / "src")
+        source.put("dtw_pair", _key(1), 1.5)
+        source.persist()
+        source.clear_memory()  # disk-only entry
+        source.put("forecast_window", _key(2), np.arange(4.0))  # memory-only entry
+        assert source.export(tmp_path / "dst") == 2
+        target = ArtifactStore(disk_dir=tmp_path / "dst")
+        assert target.get("dtw_pair", _key(1)) == 1.5
+        assert np.array_equal(target.get("forecast_window", _key(2)), np.arange(4.0))
+
+
+class TestStoreView:
+    def test_scope_isolation(self):
+        store = ArtifactStore()
+        a = store.view("forecast_window", scope=b"model-a")
+        b = store.view("forecast_window", scope=b"model-b")
+        a.put(3, np.ones(2))
+        assert b.get(3) is None
+        assert np.array_equal(a.get(3), np.ones(2))
+        assert 3 in a and 3 not in b
+
+    def test_unscoped_bytes_keys_pass_through(self):
+        store = ArtifactStore()
+        view = store.view("dtw_pair")
+        view.put(_key("p"), 2.0)
+        assert store.get("dtw_pair", _key("p")) == 2.0
+
+    def test_counters_and_len(self):
+        store = ArtifactStore()
+        view = store.view("forecast_window", scope=b"m")
+        assert view.get(1) is None
+        view.put(1, np.ones(1))
+        assert view.get(1) is not None
+        assert view.stats["hits"] == 1 and view.stats["misses"] == 1
+        assert len(view) == 1
+
+    def test_clear_resets_counters_not_store(self):
+        store = ArtifactStore()
+        view = store.view("forecast_window", scope=b"m")
+        view.put(1, np.ones(1))
+        view.get(1)
+        view.clear()
+        assert view.stats["hits"] == 0
+        assert view.get(1) is not None  # shared state untouched
+
+    def test_get_or_compute(self):
+        store = ArtifactStore()
+        view = store.view("mask_fill", scope=b"ctx")
+        first = view.get_or_compute(_key("mask"), lambda: np.full(2, 7.0))
+        second = view.get_or_compute(_key("mask"), lambda: np.full(2, 9.0))
+        assert np.array_equal(first, second)
+        assert view.stats["hits"] == 1 and view.stats["misses"] == 1
+
+
+class TestProcessStore:
+    @pytest.fixture(autouse=True)
+    def _isolate(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        reset_store()
+        yield
+        reset_store()
+
+    def test_inactive_by_default(self):
+        assert not store_active()
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+
+    def test_env_var_activates_disk_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert store_active()
+        store = resolve_store(None)
+        assert store is not None and store.disk_dir == tmp_path
+
+    def test_true_forces_memory_store(self):
+        store = resolve_store(True)
+        assert store is not None and store.disk_dir is None
+        assert resolve_store(None) is store  # now active process-wide
+
+    def test_configure_and_get_share_instance(self, tmp_path):
+        configured = configure_store(disk_dir=tmp_path)
+        assert get_store() is configured
+        assert resolve_store(None) is configured
+        assert resolve_store(False) is None  # explicit off still wins
+
+
+class TestReviewRegressions:
+    def test_read_only_store_never_accumulates_dirty(self, tmp_path):
+        """A serving worker's store must not leak computed blocks into a
+        dirty buffer it will never persist."""
+        writer = ArtifactStore(disk_dir=tmp_path)
+        writer.put("forecast_window", _key(1), np.ones(2))
+        writer.persist()
+
+        serving = ArtifactStore(disk_dir=tmp_path, read_only=True)
+        assert np.array_equal(serving.get("forecast_window", _key(1)), np.ones(2))
+        for i in range(20):  # fresh blocks computed under live traffic
+            serving.put("forecast_window", _key("new", i), np.ones(2))
+        assert serving.stats["totals"]["dirty"] == 0
+        assert serving.persist() == 0
+        # Memory tier still serves the freshly computed blocks.
+        assert serving.get("forecast_window", _key("new", 3)) is not None
+
+    def test_unlisted_segment_survives_lost_manifest_merge(self, tmp_path):
+        """Two processes racing persist(): the loser's manifest replace
+        may drop the winner's entries, but the index rescan re-finds the
+        winner's segment from disk."""
+        a = ArtifactStore(disk_dir=tmp_path)
+        b = ArtifactStore(disk_dir=tmp_path)
+        a.put("dtw_pair", _key("a"), 1.0)
+        a.persist()
+        # Simulate b's stale read-merge-replace clobbering a's entry.
+        b.put("dtw_pair", _key("b"), 2.0)
+        b.persist()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        a_segment = next(s for s in manifest["segments"] if "dtw_pair" in s)
+        del manifest["segments"][a_segment]
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        assert fresh.get("dtw_pair", _key("a")) == 1.0
+        assert fresh.get("dtw_pair", _key("b")) == 2.0
+
+    def test_view_get_or_compute_single_store_probe(self):
+        """One view-level miss must record exactly one store-level miss."""
+        store = ArtifactStore()
+        view = store.view("mask_fill", scope=b"ctx")
+        view.get_or_compute(_key("m"), lambda: np.ones(2))
+        stats = store.stats["namespaces"]["mask_fill"]
+        assert stats["misses"] == 1
+        view.get_or_compute(_key("m"), lambda: np.ones(2))
+        stats = store.stats["namespaces"]["mask_fill"]
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_manifest_rebuild_keeps_all_keys_of_rescued_segment(self, tmp_path):
+        """A rescued multi-key segment must be written back into the
+        manifest whole, not truncated to its first key."""
+        a = ArtifactStore(disk_dir=tmp_path)
+        for i in range(3):
+            a.put("dtw_pair", _key("a", i), float(i))
+        a.persist()
+        # Lose a's manifest entry (the concurrent-replace race).
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        manifest["segments"] = {}
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+        healer = ArtifactStore(disk_dir=tmp_path)  # rescans a's segment
+        healer.put("dtw_pair", _key("b"), 9.0)
+        healer.persist()  # rewrites the manifest — must list all of a's keys
+
+        trusting = ArtifactStore(disk_dir=tmp_path)
+        rebuilt = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        a_segment = next(
+            spec for spec in rebuilt["segments"].values()
+            if len(spec["keys"]) > 1 or _key("a", 0).hex() in spec["keys"]
+        )
+        assert len(a_segment["keys"]) == 3
+        for i in range(3):
+            assert trusting.get("dtw_pair", _key("a", i)) == float(i)
+
+    def test_scope_ignores_cache_store_flag(self):
+        """cache_store is metric-neutral and must not partition scopes."""
+        import dataclasses as dc
+
+        from repro.engine import default_store_scope
+
+        @dc.dataclass
+        class _Cfg:
+            hidden: int = 8
+            cache_store: bool | None = None
+
+        class _Net:
+            @staticmethod
+            def state_dict():
+                return {"w": np.ones(2)}
+
+        class _Model:
+            network = _Net()
+
+        a, b = _Model(), _Model()
+        a.config = _Cfg(cache_store=True)
+        b.config = _Cfg(cache_store=None)
+        assert default_store_scope(a) == default_store_scope(b)
+        b.config = _Cfg(hidden=16, cache_store=None)  # real change still splits
+        assert default_store_scope(a) != default_store_scope(b)
+
+    def test_resolve_store_treats_integers_by_truthiness(self, tmp_path, monkeypatch):
+        """resolve_store(0) must force isolation even when the process
+        has opted in — identity-vs-equality mismatches are not allowed
+        to leak artifacts into the shared cache."""
+        import os
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        reset_store()
+        assert resolve_store(0) is None
+        assert resolve_store(1) is not None
+        reset_store()
+
+    def test_config_rejects_integer_cache_store(self):
+        from repro.core import STSMConfig
+
+        with pytest.raises(ValueError, match="cache_store"):
+            STSMConfig(cache_store=0).validate()
+        STSMConfig(cache_store=False).validate()  # real booleans fine

@@ -1,0 +1,82 @@
+"""The bench schema-drift checker: wildcard collapse and subset rules."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_bench_schema.py"
+_spec = importlib.util.spec_from_file_location("check_bench_schema", _SCRIPT)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def _problems(produced_doc, baseline_doc):
+    problems: list[str] = []
+    checker.matches(
+        checker.skeleton(produced_doc), checker.skeleton(baseline_doc), "$", problems
+    )
+    return problems
+
+
+class TestSkeleton:
+    def test_scalars(self):
+        assert checker.skeleton(1.5) == "number"
+        assert checker.skeleton(3) == "number"
+        assert checker.skeleton(True) == "bool"
+        assert checker.skeleton("x") == "string"
+        assert checker.skeleton(None) == "null"
+
+    def test_lists_collapse_dicts_keep_keys(self):
+        doc = {"a": {"x": 1.0}, "b": {"x": 2.0}}
+        assert checker.skeleton(doc) == {"a": {"x": "number"}, "b": {"x": "number"}}
+        assert checker.skeleton([1, 2, 3]) == ["number"]
+        assert checker.skeleton([]) == ["*"]
+
+
+class TestMatches:
+    def test_identical_docs_match(self):
+        doc = {"mode": "full", "seconds": {"a": [1.0, 2.0], "b": [3.0]}}
+        assert _problems(doc, doc) == []
+
+    def test_smoke_subset_of_full_tolerated(self):
+        full = {"mode": "full", "core": {"x": 1.0}, "extra_leg": {"y": 2.0}}
+        smoke = {"mode": "smoke", "core": {"x": 9.0}}
+        assert _problems(smoke, full) == []
+
+    def test_renamed_key_is_drift(self):
+        assert _problems({"speed_up": 1.0}, {"speedup": 1.0, "mode": "x"})
+
+    def test_type_change_is_drift(self):
+        assert _problems({"speedup": "1.0x"}, {"speedup": 1.0, "mode": "x"})
+
+    def test_nested_rename_is_drift_but_nested_subset_passes(self):
+        baseline = {"legs": {"a": {"x": 1.0}, "b": {"x": 1.0, "deep": {"z": 2.0}}}}
+        # Renamed nested key: drift even though the dict shapes "look" alike.
+        produced = {"legs": {"a": {"zz": 1.0}, "b": {"zz": 1.0}}}
+        assert _problems(produced, baseline)
+        # Omitting a full-only nested section (b.deep) is a clean subset.
+        assert _problems({"legs": {"a": {"x": 1.0}, "b": {"x": 2.0}}}, baseline) == []
+
+    def test_differing_list_lengths_tolerated_when_homogeneous(self):
+        assert _problems({"seeds": [0, 1]}, {"seeds": [0, 1, 2], "mode": "x"}) == []
+
+
+class TestCli:
+    def test_main_ok_and_drift(self, tmp_path):
+        import json
+
+        good = tmp_path / "good.json"
+        base = tmp_path / "base.json"
+        bad = tmp_path / "bad.json"
+        base.write_text(json.dumps({"mode": "full", "speedup": 1.5}))
+        good.write_text(json.dumps({"mode": "smoke", "speedup": 9.9}))
+        bad.write_text(json.dumps({"mode": "smoke", "speed_up": 9.9}))
+        assert checker.main([str(good), str(base)]) == 0
+        assert checker.main([str(bad), str(base)]) == 1
+        assert checker.main([str(good)]) == 2  # unpaired args
+
+    def test_missing_file(self, tmp_path):
+        assert checker.main([str(tmp_path / "nope.json"), str(tmp_path / "also.json")]) == 1

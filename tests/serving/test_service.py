@@ -186,6 +186,28 @@ class TestCoalescingAndCaching:
         assert value is not None
         assert value[0, 0] == pytest.approx(6000.0)
 
+    def test_eviction_recompute_recorded_in_telemetry(self):
+        """The eviction fallback is a real miss and must be counted, not
+        silently recomputed — hit-rate stats stay truthful under a
+        shared bounded store."""
+        from repro.engine import LRUCache
+
+        class _NeverStores(LRUCache):
+            def put(self, key, value):
+                pass
+
+        model = _CountingForecaster()
+        service = ForecastService(model, cache=_NeverStores(maxsize=4))
+        service.submit(6).result()
+        assert service.eviction_recomputes == 1
+        assert service.stats["eviction_recomputes"] == 1
+
+        # The healthy path never touches the counter.
+        healthy = ForecastService(_CountingForecaster())
+        healthy.forecast(np.array([1, 2, 1]))
+        assert healthy.eviction_recomputes == 0
+        assert healthy.stats["eviction_recomputes"] == 0
+
     def test_shared_cache_between_services(self):
         """Two services over one (thread-safe) cache share computed windows."""
         from repro.engine import LRUCache
@@ -230,3 +252,77 @@ class TestEvaluatorIntegration:
         )
         assert served.metrics.rmse == pytest.approx(direct.metrics.rmse)
         assert served.extra["service"]["windows_computed"] == served.num_windows
+
+
+class TestStoreBackedService:
+    def test_store_serves_across_service_instances(self, fitted_stsm, setting):
+        """Two services over one store + same model content share blocks
+        bitwise — the cross-process serving scenario, in miniature."""
+        from repro.engine import ArtifactStore
+
+        _dataset, _split, _spec, _train_ix, starts = setting
+        store = ArtifactStore()
+        first = ForecastService(fitted_stsm, store=store)
+        blocks = first.forecast(starts)
+        second = ForecastService(fitted_stsm, store=store)
+        again = second.forecast(starts)
+        assert again.tobytes() == blocks.tobytes()
+        assert second.windows_computed == 0  # everything came from the store
+        assert second.cache_hits == len(starts)
+
+    def test_store_scopes_isolate_models(self):
+        from repro.engine import ArtifactStore
+
+        store = ArtifactStore()
+        model_a = _CountingForecaster()
+        model_b = _CountingForecaster(horizon=4, num_unobserved=3)
+        service_a = ForecastService(model_a, store=store, store_scope=b"a")
+        service_b = ForecastService(model_b, store=store, store_scope=b"b")
+        service_a.forecast(np.array([1]))
+        service_b.forecast(np.array([1]))
+        assert model_a.calls and model_b.calls  # no cross-scope hit
+
+    def test_store_and_cache_mutually_exclusive(self):
+        from repro.engine import ArtifactStore, LRUCache
+
+        with pytest.raises(ValueError, match="not both"):
+            ForecastService(
+                _CountingForecaster(),
+                cache=LRUCache(maxsize=4),
+                store=ArtifactStore(),
+            )
+
+    def test_store_without_derivable_scope_rejected(self):
+        from repro.engine import ArtifactStore
+
+        with pytest.raises(ValueError, match="scope"):
+            ForecastService(_CountingForecaster(), store=ArtifactStore())
+
+    def test_evaluator_store_path_matches_direct_metrics(self, fitted_stsm, setting):
+        """run_matrix-style serving through the store changes no metric."""
+        from repro.engine import ArtifactStore
+
+        dataset, split, spec, _train_ix, _starts = setting
+
+        class _Prefit(Forecaster):
+            # evaluate_forecaster refits; reuse the module-scoped model.
+            name = "prefit-stsm"
+            network = fitted_stsm.network
+            config = fitted_stsm.config
+            dataset_ = None
+
+            def fit(self, *args):
+                return FitReport()
+
+            def predict(self, window_starts):
+                return fitted_stsm.predict(window_starts)
+
+        direct = evaluate_forecaster(
+            _Prefit(), dataset, split, spec, max_test_windows=4, use_service=True
+        )
+        stored = evaluate_forecaster(
+            _Prefit(), dataset, split, spec, max_test_windows=4,
+            use_service=True, store=ArtifactStore(),
+        )
+        assert stored.metrics.rmse == direct.metrics.rmse
+        assert stored.metrics.mae == direct.metrics.mae

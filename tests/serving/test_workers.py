@@ -183,3 +183,82 @@ class TestLauncherProcess:
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=60) == 0
         assert sorted(tmp_path.glob("worker-*.json")) == []
+
+
+class TestBundleCache:
+    """Bundles carrying an exported artifact store boot hot."""
+
+    @pytest.fixture()
+    def warm_bundle_dir(self, fitted, tmp_path):
+        from repro.engine import ArtifactStore
+        from repro.serving import ForecastService
+
+        model, starts = fitted
+        store = ArtifactStore()
+        # Park the warm-up blocks in the store through the serving path.
+        ForecastService(model, store=store).forecast(np.asarray(starts))
+        save_bundle(tmp_path, {
+            "stsm/pems-bay": BundleEntry(
+                forecaster=model,
+                dataset=dict(_RECIPE),
+                warmup_starts=[int(s) for s in starts],
+            ),
+        }, store=store)
+        return tmp_path
+
+    def test_cache_dir_discovered(self, warm_bundle_dir):
+        from repro.serving.transport.workers import bundle_cache_dir
+
+        assert bundle_cache_dir(warm_bundle_dir) == warm_bundle_dir / "cache"
+        manifest = json.loads((warm_bundle_dir / "manifest.json").read_text())
+        assert manifest["cache"]["dir"] == "cache"
+        assert manifest["cache"]["entries"] > 0
+
+    def test_bundle_without_cache_reads_as_cold(self, bundle_dir):
+        from repro.serving.transport.workers import bundle_cache_dir
+
+        assert bundle_cache_dir(bundle_dir) is None
+
+    def test_worker_boots_hot_and_bitwise(self, fitted, warm_bundle_dir):
+        """Warm-up served from the bundle cache: zero recomputes, and the
+        served bytes equal the training process's direct predict bytes."""
+        from repro.serving.transport.workers import _build_runtime
+
+        model, starts = fitted
+        runtime, warmups = _build_runtime(ServeConfig(checkpoint_dir=str(warm_bundle_dir)))
+        with runtime:
+            key = "stsm/pems-bay"
+            runtime.warm_up(key, np.asarray(warmups[key], dtype=int))
+            stats = runtime.stats(key)["service"]
+            assert stats["windows_computed"] == 0
+            assert stats["cache_hits"] == len(warmups[key])
+            served = runtime.forecast(key, np.asarray(starts[:2], dtype=int))
+        direct = model.predict(np.asarray(starts, dtype=int))
+        assert served.tobytes() == direct[:2].tobytes()
+
+    def test_deleted_cache_degrades_to_cold_boot(self, fitted, warm_bundle_dir):
+        import shutil
+
+        from repro.serving.transport.workers import _build_runtime
+
+        shutil.rmtree(warm_bundle_dir / "cache")
+        runtime, warmups = _build_runtime(ServeConfig(checkpoint_dir=str(warm_bundle_dir)))
+        with runtime:
+            key = "stsm/pems-bay"
+            runtime.warm_up(key, np.asarray(warmups[key], dtype=int))
+            assert runtime.stats(key)["service"]["windows_computed"] == len(warmups[key])
+
+    def test_scopeless_model_in_cached_bundle_boots_cold(self, fitted, warm_bundle_dir, monkeypatch):
+        """A bundle model with no derivable content scope must still
+        serve (cold, private cache) instead of crashing worker boot."""
+        import repro.serving.transport.workers as workers_mod
+
+        monkeypatch.setattr(workers_mod, "default_store_scope", lambda f: None)
+        runtime, warmups = workers_mod._build_runtime(
+            ServeConfig(checkpoint_dir=str(warm_bundle_dir))
+        )
+        with runtime:
+            key = "stsm/pems-bay"
+            runtime.warm_up(key, np.asarray(warmups[key], dtype=int))
+            # Cold: recomputed, because the store could not be scoped.
+            assert runtime.stats(key)["service"]["windows_computed"] == len(warmups[key])
