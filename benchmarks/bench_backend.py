@@ -1,4 +1,4 @@
-"""Array-backend benchmark: ``numpy_fused`` vs ``numpy_ref`` on STSM.
+"""Array-backend benchmark: ``numpy_fused`` (and ``torch``) vs ``numpy_ref``.
 
 Measures the two hot paths the backend seam was built for:
 
@@ -6,6 +6,12 @@ Measures the two hot paths the backend seam was built for:
   full backward) at a serving-representative batch shape;
 * **fit** — a complete small ``STSMForecaster.fit`` + ``predict``,
   covering the optimiser, the engine loop and the conv/graph kernels.
+
+When PyTorch is importable the ``torch`` backend is benchmarked on the
+same cases (forward+backward, batch-32, full fit) and reported as
+``speedup_torch``; the result JSON always carries a ``torch`` stanza
+recording whether torch was available on the producing machine, so the
+committed baseline is honest about what it measured.
 
 Run::
 
@@ -32,7 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.autograd import Tensor  # noqa: E402
-from repro.backend import available_backends, use_backend  # noqa: E402
+from repro.backend import available_backends, backend_available, use_backend  # noqa: E402
 from repro.core import STSMConfig, STSMForecaster  # noqa: E402
 from repro.core.network import STSMNetwork  # noqa: E402
 from repro.data import WindowSpec, space_split, temporal_split  # noqa: E402
@@ -40,6 +46,27 @@ from repro.data.synthetic import make_pems_bay  # noqa: E402
 from repro.nn import mse_loss  # noqa: E402
 
 BACKENDS = ("numpy_ref", "numpy_fused")
+
+
+def _torch_status() -> dict:
+    """The result JSON's honesty stanza about the optional torch legs."""
+    if not backend_available("torch"):
+        return {
+            "available": False,
+            "detail": "torch not installed on the producing machine; "
+                      "torch legs absent",
+        }
+    import torch
+
+    from repro.backend import get_backend, use_backend as _scope
+
+    with _scope("torch"):
+        device = str(get_backend().device)
+    return {
+        "available": True,
+        "detail": f"torch {torch.__version__}",
+        "device": device,
+    }
 
 
 def _training_step(backend: str, *, batch, steps, nodes, hidden):
@@ -126,32 +153,36 @@ def main(argv: list[str] | None = None) -> int:
         }
         fit_kwargs = dict(sensors=48, days=3, epochs=3, hidden=32)
 
+    torch_status = _torch_status()
+    backends = list(BACKENDS) + (["torch"] if torch_status["available"] else [])
+
     results: dict = {
         "mode": "smoke" if args.smoke else "full",
-        "backends": list(BACKENDS),
+        "backends": backends,
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": platform.platform(),
         },
+        "torch": torch_status,
         "shapes": {**fwd_cases, "full_fit": fit_kwargs},
         "seconds": {},
     }
-    assert set(BACKENDS) <= set(available_backends())
+    assert set(backends) <= set(available_backends())
 
-    results["seconds"] = {backend: {} for backend in BACKENDS}
+    results["seconds"] = {backend: {} for backend in backends}
     for case, kwargs in fwd_cases.items():
-        for backend, seconds in bench_forward_backward(BACKENDS, **kwargs).items():
+        for backend, seconds in bench_forward_backward(backends, **kwargs).items():
             results["seconds"][backend][case] = seconds
     # Fits alternate backends for the same drift-control reason.
     fit_rounds = 1 if args.smoke else 2
-    best_fit = {backend: float("inf") for backend in BACKENDS}
+    best_fit = {backend: float("inf") for backend in backends}
     for _ in range(fit_rounds):
-        for backend in BACKENDS:
+        for backend in backends:
             best_fit[backend] = min(best_fit[backend], bench_full_fit(backend, **fit_kwargs))
-    for backend in BACKENDS:
+    for backend in backends:
         results["seconds"][backend]["full_fit"] = best_fit[backend]
-    for backend in BACKENDS:
+    for backend in backends:
         rendered = "   ".join(
             f"{case} {seconds * 1e3:8.1f} ms" if case != "full_fit" else f"full_fit {seconds:6.2f} s"
             for case, seconds in results["seconds"][backend].items()
@@ -162,6 +193,12 @@ def main(argv: list[str] | None = None) -> int:
     fused = results["seconds"]["numpy_fused"]
     results["speedup"] = {case: ref[case] / fused[case] for case in ref}
     print("speedup       " + "   ".join(f"{case} {s:.2f}x" for case, s in results["speedup"].items()))
+    if torch_status["available"]:
+        torch_seconds = results["seconds"]["torch"]
+        results["speedup_torch"] = {case: ref[case] / torch_seconds[case] for case in ref}
+        print("speedup_torch " + "   ".join(
+            f"{case} {s:.2f}x" for case, s in results["speedup_torch"].items()
+        ))
 
     if args.output != "-":
         output = Path(args.output) if args.output else REPO_ROOT / "BENCH_backend.json"

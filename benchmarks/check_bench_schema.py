@@ -29,6 +29,18 @@ from pathlib import Path
 
 WILDCARD = "*"
 
+#: Optional legs that only exist when an optional dependency is present
+#: on the producing machine (e.g. CI's torch leg produces torch timings
+#: the torch-less committed baseline cannot carry).  Maps
+#: ``(dict_path, produced_key)`` — ``produced_key`` may be WILDCARD —
+#: to the *sibling* baseline key whose skeleton the extra key must
+#: match.  Everything else stays strict.
+OPTIONAL_SIBLINGS: dict[tuple[str, str], str] = {
+    ("$.seconds", "torch"): "numpy_ref",
+    ("$", "speedup_torch"): "speedup",
+    ("$.torch", "device"): "detail",
+}
+
 
 def skeleton(value):
     """Reduce a JSON value to its type structure.
@@ -74,10 +86,19 @@ def matches(produced, baseline, path: str, problems: list[str]) -> None:
         return
     if isinstance(produced, dict) and isinstance(baseline, dict):
         # Subset rule: keys only the (full-run) baseline has are fine in
-        # a smoke run; keys the baseline has never seen are drift.
-        extra = sorted(set(produced) - set(baseline))
-        if extra:
-            problems.append(f"{path}: keys absent from the committed baseline {extra}")
+        # a smoke run; keys the baseline has never seen are drift —
+        # unless OPTIONAL_SIBLINGS names a sibling baseline key whose
+        # skeleton the extra key matches (optional-dependency legs).
+        for key in sorted(set(produced) - set(baseline)):
+            sibling = OPTIONAL_SIBLINGS.get((path, key)) or OPTIONAL_SIBLINGS.get(
+                (path, WILDCARD)
+            )
+            if sibling is not None and sibling in baseline:
+                matches(produced[key], baseline[sibling], f"{path}.{key}", problems)
+            else:
+                problems.append(
+                    f"{path}: key absent from the committed baseline ['{key}']"
+                )
         for key in sorted(set(produced) & set(baseline)):
             matches(produced[key], baseline[key], f"{path}.{key}", problems)
         return

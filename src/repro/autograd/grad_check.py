@@ -32,12 +32,15 @@ def numerical_gradient(
 ) -> np.ndarray:
     """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. input ``wrt``."""
     target = inputs[wrt]
-    grad = np.zeros_like(target.data)
+    grad = np.zeros(tuple(target.data.shape), dtype=np.float64)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
     with use_backend(backend):
-        for i in range(flat.size):
-            original = flat[i]
+        for i in range(int(flat.shape[0])):
+            # float() snapshots the element: a torch ``flat[i]`` is a
+            # 0-d view of the storage and would read back the perturbed
+            # value after assignment.
+            original = float(flat[i])
             flat[i] = original + eps
             upper = float(fn(*inputs).data.sum())
             flat[i] = original - eps
@@ -68,7 +71,14 @@ def check_gradients(
         if not tensor.requires_grad:
             continue
         expected = numerical_gradient(fn, inputs, index, eps=eps, backend=backend)
-        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        # Host-normalise: backend-native grads (torch tensors) compare
+        # through numpy, where mixed tensor/ndarray arithmetic is not
+        # guaranteed across versions.
+        actual = (
+            np.asarray(tensor.grad)
+            if tensor.grad is not None
+            else np.zeros(tuple(tensor.data.shape))
+        )
         if not np.allclose(actual, expected, atol=atol, rtol=rtol):
             worst = np.abs(actual - expected).max()
             raise AssertionError(

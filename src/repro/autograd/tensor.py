@@ -126,7 +126,9 @@ class Tensor:
 
     @property
     def size(self) -> int:
-        return self.data.size
+        # Computed from the shape: on torch tensors ``.size`` is a
+        # method, so this is the one spelling that works everywhere.
+        return int(math.prod(self.data.shape))
 
     @property
     def dtype(self):
@@ -214,7 +216,7 @@ class Tensor:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         b = get_backend()
         if grad is None:
-            if self.data.size != 1:
+            if self.size != 1:
                 raise RuntimeError("backward() on a non-scalar tensor requires an explicit gradient")
             grad = b.ones_like(self.data)
         grad = b.asarray(grad, dtype=self.data.dtype)
@@ -457,7 +459,7 @@ class Tensor:
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
-            count = self.data.size
+            count = self.size
         elif isinstance(axis, tuple):
             count = int(math.prod(self.shape[a] for a in axis))
         else:

@@ -49,6 +49,25 @@ class ArrayBackend:
     #: Registry name; subclasses override.
     name: str = "abstract"
 
+    def configured(self, device: str | None = None, dtype: str | None = None):
+        """Return a backend honouring the device/dtype overrides.
+
+        Host (numpy) backends support only cpu/float64 and return
+        ``self`` when the overrides are compatible no-ops; accelerator
+        backends (torch) override this to return a configured instance.
+        """
+        if device not in (None, "cpu"):
+            raise ValueError(
+                f"backend {self.name!r} runs on the host cpu only, got "
+                f"device={device!r}; use the 'torch' backend for other devices"
+            )
+        if dtype not in (None, "float64"):
+            raise ValueError(
+                f"backend {self.name!r} computes in float64 only, got "
+                f"dtype={dtype!r}; use the 'torch' backend for float32"
+            )
+        return self
+
     # ------------------------------------------------------------------
     # Creation / conversion
     # ------------------------------------------------------------------

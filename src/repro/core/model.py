@@ -36,7 +36,7 @@ import time
 import numpy as np
 
 from ..autograd import Tensor, no_grad
-from ..backend import use_backend
+from ..backend import resolve_backend, use_backend
 from ..data.dataset import SpatioTemporalDataset
 from ..data.scalers import StandardScaler
 from ..data.splits import SpaceSplit
@@ -220,6 +220,15 @@ class STSMForecaster(Forecaster):
         self.network: STSMNetwork | None = None
         self._fitted = False
 
+    def _resolved_backend(self):
+        """Backend for fit/predict: config name + device/dtype overrides.
+
+        ``None`` (no field set) keeps the process-active backend, so the
+        pre-device behaviour is unchanged for existing configs.
+        """
+        cfg = self.config
+        return resolve_backend(cfg.backend, cfg.device, cfg.dtype)
+
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
@@ -231,7 +240,7 @@ class STSMForecaster(Forecaster):
         train_steps: np.ndarray,
     ) -> FitReport:
         """Train under the config's array backend (None = process default)."""
-        with use_backend(self.config.backend):
+        with use_backend(self._resolved_backend()):
             return self._fit_impl(dataset, split, spec, train_steps)
 
     def _fit_impl(
@@ -548,7 +557,7 @@ class STSMForecaster(Forecaster):
 
         Runs under the same array backend the model was fitted with.
         """
-        with use_backend(self.config.backend):
+        with use_backend(self._resolved_backend()):
             return self._predict_impl(window_starts, stochastic)
 
     def _predict_impl(self, window_starts: np.ndarray, stochastic: bool = False) -> np.ndarray:

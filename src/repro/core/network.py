@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Tensor
+from ..backend import get_backend
 from ..nn import Linear, Module, ModuleList, init
 from .config import STSMConfig
 from .gcn import DualGraphAttention, DualGraphConv
@@ -75,7 +76,7 @@ class STBlock(Module):
         graph = self.graph(a_spatial, a_dtw, features)
         if self.gated_fusion:
             gate = (self.gate_temporal(temporal) + self.gate_graph(graph)).sigmoid()
-            one = Tensor(np.ones(gate.shape))
+            one = Tensor(get_backend().ones_like(gate.data))
             return gate * temporal + (one - gate) * graph
         return temporal + graph  # Eq. 12
 

@@ -59,6 +59,9 @@ def load_forecaster(
     dataset: SpatioTemporalDataset,
     split: SpaceSplit,
     train_steps: np.ndarray | None = None,
+    backend: str | None = None,
+    device: str | None = None,
+    dtype: str | None = None,
 ) -> STSMForecaster:
     """Load a saved forecaster and re-attach its data context.
 
@@ -73,6 +76,11 @@ def load_forecaster(
     train_steps:
         Time steps considered historical when rebuilding the test-time
         DTW adjacency; defaults to all steps.
+    backend / device / dtype:
+        Override the saved config's backend fields for serving — state
+        dicts are host numpy, so a model trained under one backend loads
+        and predicts under any other (e.g. fit on numpy_ref, serve on
+        torch/cuda).  ``None`` keeps the saved values.
     """
     archive = np.load(Path(path), allow_pickle=False)
     if _HEADER_KEY not in archive:
@@ -82,6 +90,14 @@ def load_forecaster(
         raise ValueError(f"unsupported format version {header.get('format_version')}")
 
     config = STSMConfig(**header["config"])
+    overrides = {
+        key: value
+        for key, value in (("backend", backend), ("device", device), ("dtype", dtype))
+        if value is not None
+    }
+    if overrides:
+        config = config.replace(**overrides)
+        config.validate()
     spec = WindowSpec(**header["spec"])
     forecaster = STSMForecaster(config, name=header["name"])
     forecaster.dataset = dataset
@@ -94,25 +110,32 @@ def load_forecaster(
     forecaster.scaler = scaler
     forecaster._scaled_full = scaler.transform(dataset.values)
 
-    network = STSMNetwork(config, horizon=spec.horizon, input_length=spec.input_length)
+    from ..backend import resolve_backend, use_backend
+
     state = {
         key.removeprefix("param::"): archive[key]
         for key in archive.files
         if key.startswith("param::")
     }
-    network.load_state_dict(state)
-    forecaster.network = network
+    # Parameters and the cached test-graph tensors must live on the
+    # backend the forecaster will predict under, so build them in scope.
+    with use_backend(resolve_backend(config.backend, config.device, config.dtype)):
+        network = STSMNetwork(
+            config, horizon=spec.horizon, input_length=spec.input_length
+        )
+        network.load_state_dict(state)
+        forecaster.network = network
 
-    from .model import compute_distance_matrices  # local import avoids cycle
-    from ..graph.adjacency import gaussian_kernel_adjacency
+        from .model import compute_distance_matrices  # local import avoids cycle
+        from ..graph.adjacency import gaussian_kernel_adjacency
 
-    dist_adj, dist_pseudo = compute_distance_matrices(dataset, config.distance_mode)
-    forecaster._dist_pseudo = dist_pseudo
-    off = dist_adj[~np.eye(len(dist_adj), dtype=bool)]
-    sigma = max(float(off.std()) * config.sigma_scale, 1e-9)
-    forecaster._a_s_full = gaussian_kernel_adjacency(
-        dist_adj, threshold=config.epsilon_s, sigma=sigma
-    )
-    forecaster._fitted = True
-    forecaster._prepare_test_graph()
+        dist_adj, dist_pseudo = compute_distance_matrices(dataset, config.distance_mode)
+        forecaster._dist_pseudo = dist_pseudo
+        off = dist_adj[~np.eye(len(dist_adj), dtype=bool)]
+        sigma = max(float(off.std()) * config.sigma_scale, 1e-9)
+        forecaster._a_s_full = gaussian_kernel_adjacency(
+            dist_adj, threshold=config.epsilon_s, sigma=sigma
+        )
+        forecaster._fitted = True
+        forecaster._prepare_test_graph()
     return forecaster

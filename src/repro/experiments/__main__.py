@@ -51,6 +51,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", default=None,
                         help="array backend for all models (default: REPRO_BACKEND "
                              "env var or numpy_ref); see repro.backend")
+    parser.add_argument("--device", default=None,
+                        help="device for accelerator backends (cpu, cuda, cuda:N); "
+                             "numpy backends accept cpu only")
+    parser.add_argument("--dtype", default=None, choices=("float32", "float64"),
+                        help="compute dtype for accelerator backends (float32 "
+                             "trades bit-parity for speed)")
     parser.add_argument("--cache-dir", default=None,
                         help="enable the cross-fit artifact store with a disk tier "
                              "at this directory (same as setting REPRO_CACHE_DIR): "
@@ -73,10 +79,10 @@ def main(argv: list[str] | None = None) -> int:
                              "throughput/latency columns")
     args = parser.parse_args(argv)
 
-    if args.backend is not None:
-        from ..backend import set_backend
+    if args.backend is not None or args.device is not None or args.dtype is not None:
+        from ..backend import resolve_backend, set_backend
 
-        set_backend(args.backend)
+        set_backend(resolve_backend(args.backend, args.device, args.dtype))
 
     if args.cache_dir is not None:
         from ..engine import configure_store

@@ -30,8 +30,13 @@ def positional_encoding(length: int, dim: int) -> np.ndarray:
     """
     b = get_backend()
     half = (dim + 1) // 2
-    position = b.expand_dims(b.arange(length), 1)
-    term = b.exp(b.multiply(b.arange(0, dim, 2), -math.log(10000.0) / dim))
+    # Float the int64 aranges explicitly: numpy would promote them to
+    # float64 in the multiply below, but torch promotes int tensors to
+    # its float32 default — floating first keeps the backends identical.
+    position = b.expand_dims(b.to_float_array(b.arange(length)), 1)
+    term = b.exp(
+        b.multiply(b.to_float_array(b.arange(0, dim, 2)), -math.log(10000.0) / dim)
+    )
     angles = b.multiply(position, term)  # (length, ceil(dim/2))
     paired = b.stack([b.sin(angles), b.cos(angles)], axis=2)
     return b.getitem(b.reshape(paired, (length, 2 * half)), (slice(None), slice(0, dim)))

@@ -92,10 +92,17 @@ class Module:
     # Serialization
     # ------------------------------------------------------------------
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":
-        """Return a copy of all parameter arrays keyed by dotted names."""
+        """Return host numpy copies of all parameters, keyed by dotted names.
+
+        Always numpy — never backend-native tensors — so checkpoints,
+        ``.npz`` bundles and store-scope hashes are identical regardless
+        of the backend (and device) a model was trained on, and a state
+        saved under one backend loads under any other.
+        """
         backend = get_backend()
         return OrderedDict(
-            (name, backend.copy(param.data)) for name, param in self.named_parameters()
+            (name, np.array(backend.to_numpy(param.data), copy=True))
+            for name, param in self.named_parameters()
         )
 
     def load_state_dict(self, state: dict) -> None:

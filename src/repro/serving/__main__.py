@@ -47,6 +47,15 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="where worker-<i>.json state files go "
                         "(default: the checkpoint dir)")
     p.add_argument("--drain-timeout-s", type=float, default=30.0)
+    p.add_argument("--backend", default=None,
+                   help="array backend override for every served model "
+                        "(e.g. numpy_fused, torch); default keeps each "
+                        "checkpoint's saved backend")
+    p.add_argument("--device", default=None,
+                   help="device override for accelerator backends "
+                        "(cpu, cuda, cuda:N)")
+    p.add_argument("--dtype", default=None, choices=("float32", "float64"),
+                   help="compute dtype override for accelerator backends")
 
 
 def _add_demo_bundle(sub: argparse._SubParsersAction) -> None:
@@ -97,6 +106,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warm_up=not args.no_warm_up,
         drain_timeout_s=args.drain_timeout_s,
         state_dir=args.state_dir,
+        backend=args.backend,
+        device=args.device,
+        dtype=args.dtype,
     )
     print(f"[serving] bundle={args.checkpoint_dir} workers={args.workers} "
           f"port={args.port} (SIGTERM drains gracefully)")

@@ -139,8 +139,19 @@ def save_bundle(
     return path
 
 
-def load_bundle(directory: str | Path) -> dict[str, tuple[object, list[int]]]:
-    """Restore every model in a bundle: ``{key: (forecaster, warmup)}``."""
+def load_bundle(
+    directory: str | Path,
+    backend: str | None = None,
+    device: str | None = None,
+    dtype: str | None = None,
+) -> dict[str, tuple[object, list[int]]]:
+    """Restore every model in a bundle: ``{key: (forecaster, warmup)}``.
+
+    ``backend`` / ``device`` / ``dtype`` override every restored model's
+    saved backend fields (checkpoint state is host numpy, so a bundle
+    fitted on numpy serves on torch and vice versa); ``None`` keeps the
+    per-model saved values.
+    """
     from ...core import load_forecaster
     from ...data.splits import SpaceSplit
     from ...data.synthetic import make_dataset
@@ -171,7 +182,14 @@ def load_bundle(directory: str | Path) -> dict[str, tuple[object, list[int]]]:
             test=np.asarray(spec["split"]["test"], dtype=int),
             name=spec["split"].get("name", ""),
         )
-        forecaster = load_forecaster(directory / spec["checkpoint"], dataset, split)
+        forecaster = load_forecaster(
+            directory / spec["checkpoint"],
+            dataset,
+            split,
+            backend=backend,
+            device=device,
+            dtype=dtype,
+        )
         models[key] = (forecaster, [int(s) for s in spec.get("warmup_starts", [])])
     return models
 
@@ -223,6 +241,11 @@ class ServeConfig:
     drain_timeout_s: float = 30.0
     #: Where ``worker-<i>.json`` state files go (default: checkpoint_dir).
     state_dir: str | None = None
+    #: Backend overrides applied to every model in the bundle on load
+    #: (None keeps each checkpoint's saved backend/device/dtype).
+    backend: str | None = None
+    device: str | None = None
+    dtype: str | None = None
 
     def resolved_state_dir(self) -> Path:
         return Path(self.state_dir) if self.state_dir else Path(self.checkpoint_dir)
@@ -238,7 +261,12 @@ def _build_runtime(config: ServeConfig) -> tuple[ServingRuntime, dict[str, list[
     model's content — bitwise identical to the training process's — so
     hits are exactly the bytes that process computed.
     """
-    bundle = load_bundle(config.checkpoint_dir)
+    bundle = load_bundle(
+        config.checkpoint_dir,
+        backend=config.backend,
+        device=config.device,
+        dtype=config.dtype,
+    )
     cache_dir = bundle_cache_dir(config.checkpoint_dir)
     # read_only: a serving worker must neither mutate the shared bundle
     # nor accumulate an ever-growing dirty buffer it never persists.

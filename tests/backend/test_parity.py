@@ -1,10 +1,17 @@
-"""Backend parity: ``numpy_fused`` must match ``numpy_ref`` everywhere.
+"""Backend parity: every registered backend must match ``numpy_ref``.
 
 Every nn layer and functional op is run — forward and backward, identical
-seeds — under both backends; outputs and gradients must agree to tight
-float64 tolerance (the fused backend reorders GEMMs and fuses kernels, so
+seeds — under each backend; outputs and gradients must agree to tight
+float64 tolerance (backends reorder GEMMs and fuse kernels, so
 bit-identity is not required, but anything beyond last-ulps noise is a
 backend bug).
+
+The backend list is discovered from the registry, so optional backends
+(torch) are covered automatically when their library is installed and
+reported as explicit skips when it is not.  Per-backend tolerances:
+``numpy_fused`` reorders float64 numpy kernels (last-ulps noise only);
+``torch`` runs a second BLAS/kernel library in float64, which earns a
+slightly looser — still float64-noise-level — bound.
 """
 
 from __future__ import annotations
@@ -32,12 +39,42 @@ from repro.autograd import (
     stack,
     where,
 )
-from repro.backend import use_backend
+from repro.backend import KNOWN_OPTIONAL_BACKENDS, available_backends, use_backend
 
 BACKENDS = ("numpy_ref", "numpy_fused")
 
-RTOL = 1e-9
-ATOL = 1e-11
+#: (rtol, atol) per non-reference backend; anything discovered but not
+#: listed here gets the strict default.
+TOLERANCES = {
+    "numpy_fused": (1e-9, 1e-11),
+    "torch": (1e-7, 1e-9),
+}
+RTOL, ATOL = TOLERANCES["numpy_fused"]
+
+
+def _parity_backends():
+    """Every registered backend except the reference, plus visible skips
+    for known-optional backends whose library is absent."""
+    params = [name for name in available_backends() if name != "numpy_ref"]
+    for name in sorted(KNOWN_OPTIONAL_BACKENDS):
+        if name not in params:
+            params.append(
+                pytest.param(
+                    name,
+                    marks=pytest.mark.skip(
+                        reason=f"optional backend {name!r} not installed "
+                        f"({KNOWN_OPTIONAL_BACKENDS[name]})"
+                    ),
+                )
+            )
+    return params
+
+
+PARITY_BACKENDS = _parity_backends()
+
+
+def _tolerances(backend: str) -> tuple[float, float]:
+    return TOLERANCES.get(backend, (RTOL, ATOL))
 
 
 def _x(shape, seed=0):
@@ -210,25 +247,24 @@ def _run(case, backend: str):
         return np.asarray(out.data), grads
 
 
+@pytest.mark.parametrize("backend", PARITY_BACKENDS)
 @pytest.mark.parametrize("case", sorted(CASES))
-def test_fused_matches_ref(case):
+def test_backend_matches_ref(case, backend):
+    rtol, atol = _tolerances(backend)
     out_ref, grads_ref = _run(case, "numpy_ref")
-    out_fused, grads_fused = _run(case, "numpy_fused")
-    np.testing.assert_allclose(out_fused, out_ref, rtol=RTOL, atol=ATOL, err_msg=f"{case}: output")
-    assert len(grads_ref) == len(grads_fused)
-    for i, (g_ref, g_fused) in enumerate(zip(grads_ref, grads_fused)):
+    out_other, grads_other = _run(case, backend)
+    np.testing.assert_allclose(
+        out_other, out_ref, rtol=rtol, atol=atol, err_msg=f"{case}: output under {backend}"
+    )
+    assert len(grads_ref) == len(grads_other)
+    for i, (g_ref, g_other) in enumerate(zip(grads_ref, grads_other)):
         np.testing.assert_allclose(
-            g_fused, g_ref, rtol=RTOL, atol=ATOL, err_msg=f"{case}: grad[{i}]"
+            g_other, g_ref, rtol=rtol, atol=atol,
+            err_msg=f"{case}: grad[{i}] under {backend}",
         )
 
 
-def test_stsm_fit_fused_tracks_ref_end_to_end():
-    """A tiny fixed-seed STSM fit agrees across backends to float noise.
-
-    Training amplifies kernel-level rounding differences over epochs, so
-    the tolerance here is looser than the per-op bound — but the two fits
-    must remain numerically interchangeable.
-    """
+def _fit_and_predict(backend: str) -> np.ndarray:
     from repro.core import STSMConfig, STSMForecaster
     from repro.data import WindowSpec, space_split, temporal_split
     from repro.data.synthetic import make_pems_bay
@@ -239,20 +275,28 @@ def test_stsm_fit_fused_tracks_ref_end_to_end():
     train_ix, _ = temporal_split(dataset.num_steps)
     starts = np.arange(dataset.num_steps - spec.total - 4, dataset.num_steps - spec.total)
 
-    predictions = {}
-    for backend in BACKENDS:
-        config = STSMConfig(
-            epochs=2, hidden_dim=8, num_blocks=1, top_k=4, seed=0, backend=backend
-        )
-        model = STSMForecaster(config=config)
-        model.fit(dataset, split, spec, train_ix)
-        predictions[backend] = model.predict(starts)
-    np.testing.assert_allclose(
-        predictions["numpy_fused"], predictions["numpy_ref"], rtol=1e-6, atol=1e-8
+    config = STSMConfig(
+        epochs=2, hidden_dim=8, num_blocks=1, top_k=4, seed=0, backend=backend
     )
+    model = STSMForecaster(config=config)
+    model.fit(dataset, split, spec, train_ix)
+    return model.predict(starts)
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", PARITY_BACKENDS)
+def test_stsm_fit_tracks_ref_end_to_end(backend):
+    """A tiny fixed-seed STSM fit agrees across backends to float noise.
+
+    Training amplifies kernel-level rounding differences over epochs, so
+    the tolerance here is looser than the per-op bound — but the fits
+    must remain numerically interchangeable.
+    """
+    reference = _fit_and_predict("numpy_ref")
+    other = _fit_and_predict(backend)
+    np.testing.assert_allclose(other, reference, rtol=1e-6, atol=1e-8)
+
+
+@pytest.mark.parametrize("backend", ["numpy_ref", *PARITY_BACKENDS])
 def test_conv1d_gradients_numerically_correct(backend):
     """The conv kernels differ per backend; certify both against FD."""
     with use_backend(backend):

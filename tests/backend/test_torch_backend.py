@@ -1,0 +1,145 @@
+"""Torch backend unit tests (skipped entirely when torch is absent).
+
+The cross-backend parity suite (test_parity.py) certifies the numerics;
+these tests pin the torch-specific contracts that parity alone would not
+surface: numpy dtype-promotion semantics, copy-on-cast, numpy-identical
+RNG streams, scatter tiers, and device/dtype configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+torch = pytest.importorskip("torch")
+
+from repro.backend import backend_available, get_backend, use_backend  # noqa: E402
+from repro.backend.torch_backend import TorchBackend  # noqa: E402
+
+pytestmark = pytest.mark.skipif(
+    not backend_available("torch"), reason="torch backend unavailable"
+)
+
+
+@pytest.fixture()
+def b() -> TorchBackend:
+    return TorchBackend(device="cpu", dtype="float64")
+
+
+def test_registered_and_selectable():
+    with use_backend("torch") as backend:
+        assert backend.name == "torch"
+        assert get_backend().name == "torch"
+
+
+def test_to_float_array_dtype_rules(b):
+    assert b.to_float_array([1, 2, 3]).dtype == torch.float64
+    assert b.to_float_array(np.zeros(3, dtype=np.float32)).dtype == torch.float32
+    assert b.to_float_array(np.zeros(3, dtype=np.int32)).dtype == torch.float64
+    b32 = TorchBackend(device="cpu", dtype="float32")
+    assert b32.to_float_array(np.zeros(3)).dtype == torch.float32
+    assert b32.to_float_array([1, 2]).dtype == torch.float32
+
+
+def test_python_float_promotes_int_tensor_to_float64(b):
+    # numpy: int64 * 0.5 -> float64; raw torch would give float32.
+    out = b.multiply(b.arange(4), 0.5)
+    assert out.dtype == torch.float64
+    np.testing.assert_array_equal(b.to_numpy(out), np.arange(4) * 0.5)
+    assert b.divide(1.0, b.add(b.arange(1, 4), 0.0)).dtype == torch.float64
+
+
+def test_arange_matches_numpy_dtypes(b):
+    assert b.arange(5).dtype == torch.int64
+    assert b.arange(0.0, 1.0, 0.25).dtype == torch.float64
+
+
+def test_cast_always_copies_even_to_same_dtype(b):
+    base = b.ones((3,))
+    view = b.broadcast_to(b.ones((1,)), (4,))
+    for source in (base, view):
+        out = b.cast(source, source.dtype)
+        assert out.data_ptr() != source.data_ptr()
+        out += 1.0  # an adopted-owned grad gets iadd'ed; must not alias
+
+
+def test_where_with_scalar_branches(b):
+    cond = b.asarray(np.array([True, False, True]))
+    out = b.where(cond, 1.0, 0.01)
+    assert out.dtype == torch.float64
+    np.testing.assert_allclose(b.to_numpy(out), [1.0, 0.01, 1.0])
+    mixed = b.where(cond, b.asarray(np.array([5.0, 6.0, 7.0])), 0.0)
+    np.testing.assert_allclose(b.to_numpy(mixed), [5.0, 0.0, 7.0])
+
+
+def test_rng_streams_match_numpy_backends(b):
+    from repro.backend import NumpyRefBackend
+
+    ref = NumpyRefBackend()
+    draws_t = b.to_numpy(b.normal(b.default_rng(7), 0.0, 1.0, (4, 3)))
+    draws_n = ref.normal(ref.default_rng(7), 0.0, 1.0, (4, 3))
+    np.testing.assert_array_equal(draws_t, draws_n)
+    mask_t = b.to_numpy(b.dropout_mask(b.default_rng(3), (64,), 0.7, np.float64))
+    mask_n = ref.dropout_mask(ref.default_rng(3), (64,), 0.7, np.float64)
+    np.testing.assert_array_equal(mask_t, mask_n)
+
+
+def test_scatter_add_three_tiers(b):
+    rng = np.random.default_rng(0)
+    # Basic index: strided +=.
+    target = b.zeros((4, 5))
+    values = b.asarray(rng.normal(size=(4, 3)))
+    b.scatter_add(target, (slice(None), slice(1, 4)), values)
+    expected = np.zeros((4, 5)); expected[:, 1:4] += b.to_numpy(values)
+    np.testing.assert_allclose(b.to_numpy(target), expected)
+    # Pure advanced with duplicates: accumulate, not overwrite.
+    target = b.zeros((4,))
+    b.scatter_add(target, np.array([0, 1, 1, 3]), b.asarray(np.ones(4)))
+    np.testing.assert_allclose(b.to_numpy(target), [1.0, 2.0, 0.0, 1.0])
+    # Mixed basic+advanced (the conv tap layout): numpy-equivalent.
+    index = (slice(None), slice(None), np.array([[0, 1], [1, 2]]))
+    target = b.zeros((2, 3, 4))
+    values = b.asarray(rng.normal(size=(2, 3, 2, 2)))
+    b.scatter_add(target, index, values)
+    expected = np.zeros((2, 3, 4))
+    np.add.at(expected, index, b.to_numpy(values))
+    np.testing.assert_allclose(b.to_numpy(target), expected)
+
+
+def test_reductions_and_shape_ops_match_numpy(b):
+    x = np.random.default_rng(1).normal(size=(3, 4, 5))
+    t = b.asarray(x)
+    np.testing.assert_allclose(b.to_numpy(b.sum(t, axis=None, keepdims=True)), x.sum(keepdims=True))
+    np.testing.assert_allclose(b.to_numpy(b.amax(t, axis=(0, 2))), x.max(axis=(0, 2)))
+    np.testing.assert_allclose(
+        b.to_numpy(b.expand_dims(b.asarray(x[0, 0]), (0, 2))), np.expand_dims(x[0, 0], (0, 2))
+    )
+    np.testing.assert_allclose(b.to_numpy(b.transpose(t, (2, 0, 1))), x.transpose(2, 0, 1))
+    np.testing.assert_allclose(
+        b.to_numpy(b.pad(t, ((0, 0), (1, 2), (3, 0)), constant=0.5)),
+        np.pad(x, ((0, 0), (1, 2), (3, 0)), constant_values=0.5),
+    )
+    parts_t = [b.to_numpy(p) for p in b.split(t, 2, axis=1)]
+    for produced, expected in zip(parts_t, np.split(x, 2, axis=1)):
+        np.testing.assert_allclose(produced, expected)
+
+
+def test_configured_cache_and_dtype(b):
+    assert b.configured() is b
+    b32 = b.configured(dtype="float32")
+    assert b32.dtype == torch.float32
+    assert b.configured(dtype="float32") is b32
+    with pytest.raises(ValueError, match="unknown torch backend dtype"):
+        TorchBackend(device="cpu", dtype="float16")
+
+
+def test_state_dict_is_host_numpy_under_torch():
+    from repro import nn
+
+    with use_backend("torch"):
+        layer = nn.Linear(4, 2, rng=nn.init.default_rng(0))
+        state = layer.state_dict()
+        assert all(isinstance(v, np.ndarray) for v in state.values())
+        assert isinstance(layer.weight.data, torch.Tensor)
+        layer.load_state_dict(state)  # round-trips back onto torch storage
+        assert isinstance(layer.weight.data, torch.Tensor)
