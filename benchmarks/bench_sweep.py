@@ -1,0 +1,263 @@
+"""Parallel sweep-executor benchmark: ``run_matrix`` serial vs ``--jobs``.
+
+One mixed model × split × seed grid is evaluated through the real
+``run_matrix`` path in several legs:
+
+* **serial_cold** — ``jobs=1`` against a fresh cache directory (the
+  baseline every parallel leg must reproduce bit-for-bit);
+* **jobsN_cold** — the same grid across N worker processes, each leg
+  against its own fresh cache directory, so the timing includes every
+  spawn/bootstrap cost and no cross-leg artifact reuse;
+* **serial_warm / jobsN_warm** — the same grid over the *shared* store
+  directory the serial_cold leg populated: workers (and the serial
+  loop) start from a warm disk tier, the regime a long sweep session
+  actually runs in.
+
+Parity is a hard gate in every mode: all legs must produce identical
+metrics and loss histories (the executor's determinism contract — see
+DESIGN.md §13).  The >= 1.7x ``jobs=4`` speedup target is enforced only
+on machines with >= 4 CPUs; on smaller boxes (the 1-CPU CI runner) the
+timings are recorded as informational and the benchmark only certifies
+functional correctness.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py           # full
+    PYTHONPATH=src python benchmarks/bench_sweep.py --smoke   # CI wiring
+
+Writes ``BENCH_sweep.json`` at the repository root (override with
+``--output``; ``-`` skips writing).  ``--jobs-list 2,4,8`` adds legs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.synthetic import make_dataset  # noqa: E402
+from repro.engine import configure_store, reset_store  # noqa: E402
+from repro.experiments.configs import get_scale  # noqa: E402
+from repro.experiments.runners import run_matrix, splits_for  # noqa: E402
+
+
+def _grid(smoke: bool) -> dict:
+    """The benchmark grid: dataset, scale, splits, models, seeds."""
+    if smoke:
+        models = ["STSM", "HistoricalAverage"]
+        sensors, days, epochs, split_kinds = 16, 2, 1, ("horizontal",)
+    else:
+        # Mixed costs on purpose: STSM fits dominate, GE-GAN fills the
+        # middle, the naive baseline rides the tail — the shape the
+        # cost-aware scheduler is built for.
+        models = ["STSM", "GE-GAN", "HistoricalAverage"]
+        sensors, days, epochs, split_kinds = 24, 2, 3, ("horizontal", "vertical")
+    bench = get_scale("bench")
+    scale = dataclasses.replace(
+        bench,
+        dataset_sizes={"pems-bay": (sensors, days)},
+        split_kinds=split_kinds,
+        stsm={**bench.stsm, "epochs": epochs, "patience": epochs},
+        gegan={"iterations": 150},
+        max_test_windows=4,
+    )
+    dataset = make_dataset("pems-bay", num_sensors=sensors, num_days=days, seed=7)
+    splits = splits_for(dataset, scale)
+    seeds = (0, 1)
+    return {
+        "dataset": dataset,
+        "scale": scale,
+        "splits": splits,
+        "models": models,
+        "seeds": seeds,
+        "cells": len(models) * len(splits) * len(seeds),
+    }
+
+
+def _flatten_metrics(matrix: dict) -> dict:
+    """Per-model metric floats + loss histories, JSON-stable ordering."""
+    out: dict = {}
+    for model_name in sorted(matrix):
+        info = matrix[model_name]
+        metrics = info["metrics"]
+        out[model_name] = {
+            "rmse": float(metrics.rmse),
+            "mae": float(metrics.mae),
+            "mape": float(metrics.mape),
+            "r2": float(metrics.r2),
+            "histories": [
+                [float(x) for x in r.fit_report.history] for r in info["results"]
+            ],
+        }
+    return out
+
+
+def _run_leg(label: str, jobs: int, cache_dir: Path, grid: dict) -> dict:
+    """One timed run_matrix pass over the grid against ``cache_dir``."""
+    reset_store()
+    configure_store(disk_dir=cache_dir)
+    began = time.perf_counter()
+    matrix = run_matrix(
+        grid["dataset"],
+        "pems-bay",
+        grid["models"],
+        grid["scale"],
+        splits=grid["splits"],
+        seeds=grid["seeds"],
+        jobs=jobs,
+        cache_store=True,
+    )
+    seconds = time.perf_counter() - began
+    reset_store()
+    flat = _flatten_metrics(matrix)
+    sweeps = [r.extra["sweep"] for info in matrix.values() for r in info["results"]]
+    leg = {
+        "label": label,
+        "seconds": seconds,
+        "metrics": flat,
+        "digest": hashlib.sha256(
+            json.dumps(flat, sort_keys=True).encode()
+        ).hexdigest(),
+        "max_attempts": max(s["attempts"] for s in sweeps),
+        "worker_pids": len({s["worker_pid"] for s in sweeps}),
+        "cell_seconds_sum": float(sum(s["cell_seconds"] for s in sweeps)),
+    }
+    print(
+        f"{label:12s} {seconds:7.2f}s  (jobs={jobs}, "
+        f"{leg['worker_pids']} worker pid(s), "
+        f"cell time {leg['cell_seconds_sum']:.2f}s)"
+    )
+    return leg
+
+
+def run_benchmark(args: argparse.Namespace) -> int:
+    jobs_list = [int(part) for part in args.jobs_list.split(",") if part.strip()]
+    if args.smoke:
+        jobs_list = [j for j in jobs_list if j <= 2] or [2]
+    grid = _grid(args.smoke)
+    cpus = os.cpu_count() or 1
+    print(
+        f"grid: {grid['cells']} cells "
+        f"({len(grid['models'])} models x {len(grid['splits'])} splits x "
+        f"{len(grid['seeds'])} seeds), {cpus} CPU(s), jobs legs {jobs_list}"
+    )
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-sweep-"))
+    legs: dict[str, dict] = {}
+    try:
+        # Cold legs: every leg pays its full cost against an empty store.
+        shared_dir = scratch / "serial_cold"
+        legs["serial_cold"] = _run_leg("serial_cold", 1, shared_dir, grid)
+        for jobs in jobs_list:
+            legs[f"jobs{jobs}_cold"] = _run_leg(
+                f"jobs{jobs}_cold", jobs, scratch / f"jobs{jobs}_cold", grid
+            )
+        # Warm legs: everyone shares the directory serial_cold populated.
+        if not args.smoke:
+            legs["serial_warm"] = _run_leg("serial_warm", 1, shared_dir, grid)
+            for jobs in jobs_list:
+                legs[f"jobs{jobs}_warm"] = _run_leg(
+                    f"jobs{jobs}_warm", jobs, shared_dir, grid
+                )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    baseline = legs["serial_cold"]
+    identical = all(leg["digest"] == baseline["digest"] for leg in legs.values())
+    speedup = {
+        name: float(legs["serial_cold"]["seconds"] / max(leg["seconds"], 1e-9))
+        if name.endswith("_cold")
+        else float(legs["serial_warm"]["seconds"] / max(leg["seconds"], 1e-9))
+        for name, leg in legs.items()
+        if name not in ("serial_cold", "serial_warm")
+    }
+
+    results = {
+        "mode": "smoke" if args.smoke else "full",
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": cpus,
+        },
+        "grid": {
+            "models": grid["models"],
+            "splits": len(grid["splits"]),
+            "seeds": list(grid["seeds"]),
+            "cells": grid["cells"],
+        },
+        "jobs_list": jobs_list,
+        "seconds": {name: leg["seconds"] for name, leg in legs.items()},
+        "speedup": speedup,
+        "telemetry": {
+            "max_attempts": max(leg["max_attempts"] for leg in legs.values()),
+            "worker_pids": {name: leg["worker_pids"] for name, leg in legs.items()},
+        },
+        "parity": {
+            "identical_metrics": identical,
+            "metrics_sha256": baseline["digest"],
+            "metrics": baseline["metrics"],
+        },
+    }
+
+    rendered = "   ".join(f"{name} {value:.2f}x" for name, value in speedup.items())
+    print(f"speedup        {rendered}   metrics identical: {identical}")
+
+    if args.output != "-":
+        output = Path(args.output) if args.output else REPO_ROOT / "BENCH_sweep.json"
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"[wrote {output}]")
+
+    if not identical:
+        print(
+            "ERROR: parallel legs drifted from the serial metrics — the "
+            "executor's determinism contract is broken",
+            file=sys.stderr,
+        )
+        return 1
+    # The speedup target only means something with real cores to use;
+    # on smaller boxes the timings above are informational.
+    if not args.smoke and cpus >= 4 and 4 in jobs_list:
+        if speedup["jobs4_cold"] < 1.7:
+            print(
+                f"ERROR: jobs=4 speedup {speedup['jobs4_cold']:.2f}x is below "
+                "the 1.7x target on a >=4-CPU machine",
+                file=sys.stderr,
+            )
+            return 1
+    elif not args.smoke:
+        print(f"NOTE: {cpus} CPU(s) — speedup gate skipped (needs >= 4)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid, serial + jobs=2 cold legs only "
+                             "(functional check for 1-CPU CI)")
+    parser.add_argument("--jobs-list", default="2,4",
+                        help="comma-separated worker counts to benchmark "
+                             "(default: 2,4)")
+    parser.add_argument("--output", default=None,
+                        help="result JSON path (default: <repo>/BENCH_sweep.json; "
+                             "'-' skips writing)")
+    args = parser.parse_args(argv)
+    return run_benchmark(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

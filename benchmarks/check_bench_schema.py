@@ -39,6 +39,13 @@ OPTIONAL_SIBLINGS: dict[tuple[str, str], str] = {
     ("$.seconds", "torch"): "numpy_ref",
     ("$", "speedup_torch"): "speedup",
     ("$.torch", "device"): "detail",
+    # bench_sweep --jobs-list N adds jobsN_* legs the committed baseline
+    # (jobs 2 and 4) cannot enumerate; each must look like a jobs2 leg.
+    # Harmless for other benchmarks: the sibling must exist in *their*
+    # baseline for the wildcard to apply, and none of them has one.
+    ("$.seconds", WILDCARD): "jobs2_cold",
+    ("$.speedup", WILDCARD): "jobs2_cold",
+    ("$.telemetry.worker_pids", WILDCARD): "jobs2_cold",
 }
 
 

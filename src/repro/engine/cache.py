@@ -31,7 +31,7 @@ from typing import Callable, Hashable
 
 import numpy as np
 
-from ..temporal.dtw import _dtw_batch
+from ..temporal.dtw import DEFAULT_CHUNK_PAIRS, _dtw_batch_chunked
 
 __all__ = ["LRUCache", "PairwiseDTWCache", "array_key"]
 
@@ -207,7 +207,12 @@ class PairwiseDTWCache:
                 flat[pos] = value
         if missing:
             rows = np.asarray(missing)
-            computed = _dtw_batch(left[pair_i[rows]], right[pair_j[rows]], band)
+            # Chunked like the uncached function: a cold cache misses
+            # every one of the N(N-1)/2 pairs at once, which is exactly
+            # the all-pairs memory spike the chunking bounds.
+            computed = _dtw_batch_chunked(
+                left, right, pair_i[rows], pair_j[rows], band, DEFAULT_CHUNK_PAIRS
+            )
             flat[rows] = computed
             for pos, value in zip(missing, computed):
                 key = self._pair_key(

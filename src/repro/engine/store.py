@@ -297,6 +297,25 @@ class ArtifactStore:
             for namespace, hexkey in entries:
                 self._disk_index[(namespace, hexkey)] = filename
 
+    def refresh_disk_index(self) -> int:
+        """Re-index the disk tier to pick up concurrent writers' segments.
+
+        The disk index is built once when the store is created; a store
+        that lives while *other processes* persist into the same
+        directory (the parallel sweep executor's workers all share one
+        ``$REPRO_CACHE_DIR``) will not see their segments until this is
+        called.  Cheap when the concurrent-writer manifest merge kept
+        the manifest complete (one JSON read); unlisted segments are
+        decoded and rescued exactly as at construction time.  Returns
+        the number of newly indexed entries.
+        """
+        with self._lock:
+            if self.disk_dir is None or not self.disk_dir.exists():
+                return 0
+            before = len(self._disk_index)
+            self._load_disk_index()
+            return len(self._disk_index) - before
+
     def persist(self) -> int:
         """Flush queued entries to new disk segments; returns entry count.
 

@@ -1,6 +1,7 @@
 """Experiment runners — one per paper table/figure (see DESIGN.md §4)."""
 
 from .configs import PAPER, SMALL, ExperimentScale, get_scale
+from .parallel import JOBS_ENV, CellFailure, SweepCellError, resolve_jobs
 from .registry import EXPERIMENTS, run_experiment
 from .reporting import format_table, improvement_percent
 from .runners import (
@@ -8,6 +9,7 @@ from .runners import (
     STSM_NAMES,
     build_dataset,
     build_model,
+    evaluate_cell,
     ratio_split,
     run_matrix,
     splits_for,
@@ -24,9 +26,14 @@ __all__ = [
     "improvement_percent",
     "build_dataset",
     "build_model",
+    "evaluate_cell",
     "run_matrix",
     "splits_for",
     "ratio_split",
     "BASELINE_NAMES",
     "STSM_NAMES",
+    "JOBS_ENV",
+    "CellFailure",
+    "SweepCellError",
+    "resolve_jobs",
 ]

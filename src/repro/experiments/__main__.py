@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -57,6 +58,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dtype", default=None, choices=("float32", "float64"),
                         help="compute dtype for accelerator backends (float32 "
                              "trades bit-parity for speed)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="evaluate sweep grids (model x split x seed cells) "
+                             "across this many worker processes; 0 or negative "
+                             "means all CPU cores (default: $REPRO_SWEEP_JOBS "
+                             "or serial).  Parallel metrics are bit-identical "
+                             "to serial — see repro.experiments.parallel")
     parser.add_argument("--cache-dir", default=None,
                         help="enable the cross-fit artifact store with a disk tier "
                              "at this directory (same as setting REPRO_CACHE_DIR): "
@@ -88,6 +95,15 @@ def main(argv: list[str] | None = None) -> int:
         from ..engine import configure_store
 
         configure_store(disk_dir=args.cache_dir)
+
+    if args.jobs is not None:
+        # Environment-level default: every run_matrix call in the chosen
+        # experiment (table runners, ablations, ratio sweeps) picks it
+        # up without per-runner plumbing, and spawn workers re-pin it to
+        # 1 so grids can never nest pools.
+        from .parallel import JOBS_ENV
+
+        os.environ[JOBS_ENV] = str(args.jobs)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

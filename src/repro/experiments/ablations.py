@@ -20,7 +20,8 @@ from .runners import build_dataset, run_matrix
 __all__ = ["run_dtw", "run_pseudo", "run_temporal", "run_spatial"]
 
 
-def run_dtw(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0) -> dict:
+def run_dtw(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0,
+            jobs: int | None = None) -> dict:
     """STSM with and without the DTW adjacency branch."""
     scale = get_scale(scale_name)
     dataset = build_dataset(dataset_key, scale)
@@ -31,14 +32,16 @@ def run_dtw(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int 
         ("STSM (no A_dtw)", {"q_kk": 0, "q_ku": 0}),
     ):
         matrix = run_matrix(
-            dataset, dataset_key, ["STSM"], scale, splits=[split], seed=seed, **overrides
+            dataset, dataset_key, ["STSM"], scale, splits=[split], seed=seed, jobs=jobs,
+            **overrides
         )
         metrics = matrix["STSM"]["metrics"]
         rows.append({"Variant": label, "RMSE": metrics.rmse, "MAE": metrics.mae, "R2": metrics.r2})
     return {"rows": rows, "text": format_table(rows)}
 
 
-def run_pseudo(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0) -> dict:
+def run_pseudo(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0,
+               jobs: int | None = None) -> dict:
     """Pseudo-observation source strategies."""
     scale = get_scale(scale_name)
     dataset = build_dataset(dataset_key, scale)
@@ -50,14 +53,16 @@ def run_pseudo(scale_name: str = "small", dataset_key: str = "pems-bay", seed: i
         ("nearest copy (k=1)", 1),
     ):
         matrix = run_matrix(
-            dataset, dataset_key, ["STSM"], scale, splits=[split], seed=seed, pseudo_k=k
+            dataset, dataset_key, ["STSM"], scale, splits=[split], seed=seed, jobs=jobs,
+            pseudo_k=k
         )
         metrics = matrix["STSM"]["metrics"]
         rows.append({"Variant": label, "RMSE": metrics.rmse, "MAE": metrics.mae, "R2": metrics.r2})
     return {"rows": rows, "text": format_table(rows)}
 
 
-def run_spatial(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0) -> dict:
+def run_spatial(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0,
+                jobs: int | None = None) -> dict:
     """Spatial-module sweep: gated GCN (paper) vs graph attention.
 
     The spatial mirror of Table 10: GAT learns edge weights from node
@@ -77,7 +82,8 @@ def run_spatial(scale_name: str = "small", dataset_key: str = "pems-bay", seed: 
         if module == "gat":
             overrides["gat_heads"] = 2 if hidden % 2 == 0 else 1
         matrix = run_matrix(
-            dataset, dataset_key, ["STSM"], scale, splits=[split], seed=seed, **overrides
+            dataset, dataset_key, ["STSM"], scale, splits=[split], seed=seed, jobs=jobs,
+            **overrides
         )
         info = matrix["STSM"]
         rows.append(
@@ -92,7 +98,8 @@ def run_spatial(scale_name: str = "small", dataset_key: str = "pems-bay", seed: 
     return {"rows": rows, "text": format_table(rows)}
 
 
-def run_temporal(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0) -> dict:
+def run_temporal(scale_name: str = "small", dataset_key: str = "pems-bay", seed: int = 0,
+                 jobs: int | None = None) -> dict:
     """Temporal-module sweep: dilated TCN vs GRU vs transformer.
 
     Extends Table 10: the paper swaps TCN for a transformer; the GRU row
@@ -106,7 +113,7 @@ def run_temporal(scale_name: str = "small", dataset_key: str = "pems-bay", seed:
     for module in ("tcn", "gru", "transformer"):
         matrix = run_matrix(
             dataset, dataset_key, ["STSM"], scale,
-            splits=[split], seed=seed, temporal_module=module,
+            splits=[split], seed=seed, jobs=jobs, temporal_module=module,
         )
         info = matrix["STSM"]
         rows.append(

@@ -3,14 +3,17 @@
 Paper: the unobserved ratio varies from 0.2 to 0.5; STSM's RMSE curve sits
 below INCREASE's at almost every point on every dataset (one exception at
 ratio 0.2 on PEMS-08).
+
+Each ratio's model × split grid runs through :func:`run_matrix`, so the
+sweep parallelises across worker processes with ``jobs`` /
+``$REPRO_SWEEP_JOBS`` (bit-identical metrics either way).
 """
 
 from __future__ import annotations
 
-from ..evaluation import average_metrics, evaluate_forecaster
 from .configs import get_scale
 from .reporting import format_table
-from .runners import build_dataset, build_model, ratio_split
+from .runners import build_dataset, ratio_split, run_matrix
 
 __all__ = ["run", "RATIOS"]
 
@@ -23,6 +26,7 @@ def run(
     models: list[str] | None = None,
     ratios: tuple = RATIOS,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> dict:
     """Sweep the unobserved ratio for STSM vs INCREASE."""
     scale = get_scale(scale_name)
@@ -32,22 +36,13 @@ def run(
     rows = []
     for key in keys:
         dataset = build_dataset(key, scale)
-        spec = scale.window_spec(key)
         for ratio in ratios:
             splits = [ratio_split(dataset.coords, kind, ratio) for kind in kinds]
+            matrix = run_matrix(
+                dataset, key, model_names, scale, splits=splits, seed=seed, jobs=jobs
+            )
             for model_name in model_names:
-                results = []
-                for split in splits:
-                    model = build_model(
-                        model_name, key, scale, num_observed=len(split.observed), seed=seed
-                    )
-                    results.append(
-                        evaluate_forecaster(
-                            model, dataset, split, spec,
-                            max_test_windows=scale.max_test_windows,
-                        )
-                    )
-                metrics = average_metrics(results)
+                metrics = matrix[model_name]["metrics"]
                 rows.append(
                     {
                         "Dataset": key,

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import time
+from typing import Sequence
+
 import numpy as np
 
 from ..baselines import (
@@ -29,6 +33,7 @@ __all__ = [
     "STSM_NAMES",
     "build_dataset",
     "build_model",
+    "evaluate_cell",
     "run_matrix",
     "splits_for",
     "ratio_split",
@@ -116,6 +121,51 @@ def ratio_split(
     return space_split(coords, kind, fractions=fractions)
 
 
+def evaluate_cell(
+    dataset: SpatioTemporalDataset,
+    dataset_key: str,
+    model_name: str,
+    scale: ExperimentScale,
+    split: SpaceSplit,
+    spec,
+    seed: int,
+    use_service: bool = False,
+    cache_store: bool | None = None,
+    stsm_overrides: dict | None = None,
+    store=None,
+) -> EvaluationResult:
+    """Build and evaluate one independent (model, split, seed) sweep cell.
+
+    This is the unit both the serial ``run_matrix`` loop and the
+    process-pool executor (:mod:`repro.experiments.parallel`) run: the
+    model is constructed fresh from ``(dataset_key, seed)``, so the
+    cell's outputs depend on nothing outside its arguments — which is
+    what makes the parallel decomposition bit-identical to serial.
+    """
+    overrides = dict(stsm_overrides or {})
+    if cache_store is not None:
+        # Reaches STSM-family configs; baseline builders ignore the
+        # stsm_overrides channel entirely.
+        overrides["cache_store"] = cache_store
+    model = build_model(
+        model_name,
+        dataset_key,
+        scale,
+        num_observed=len(split.observed),
+        seed=seed,
+        **overrides,
+    )
+    return evaluate_forecaster(
+        model,
+        dataset,
+        split,
+        spec,
+        max_test_windows=scale.max_test_windows,
+        use_service=use_service,
+        store=store if use_service else None,
+    )
+
+
 def run_matrix(
     dataset: SpatioTemporalDataset,
     dataset_key: str,
@@ -123,11 +173,13 @@ def run_matrix(
     scale: ExperimentScale,
     splits: list[SpaceSplit] | None = None,
     seed: int = 0,
+    seeds: Sequence[int] | None = None,
     use_service: bool = False,
     cache_store: bool | None = None,
+    jobs: int | None = None,
     **stsm_overrides,
 ) -> dict[str, dict]:
-    """Evaluate each model on each split; return per-model averages.
+    """Evaluate each model on each split (and seed); return per-model averages.
 
     ``use_service`` serves every model's test predictions through the
     batched/cached :class:`~repro.serving.ForecastService` (identical
@@ -141,51 +193,89 @@ def run_matrix(
     store active, STSM fits share DTW pairs and masked adjacencies
     across seeds and hyper-parameters, served test windows are reused
     across repeated sweeps, and dirty entries are persisted to the disk
-    tier before returning — all bit-exact, so sweep metrics are
-    identical to the store-disabled path.
+    tier — all bit-exact, so sweep metrics are identical to the
+    store-disabled path.
+
+    ``seeds`` widens the grid to model × split × seed: each model's
+    ``results`` list covers every (split, seed) pair, split-major, and
+    the averages span all of them.  Omitted, the grid is the classic
+    model × split at the single ``seed``.
+
+    ``jobs`` evaluates the grid's independent cells across that many
+    worker processes (``None``: ``$REPRO_SWEEP_JOBS`` or serial; ``0``
+    or negative: all cores — see :mod:`repro.experiments.parallel`).
+    Each cell builds its own model from ``(dataset_key, seed)`` and the
+    merge re-assembles the serial iteration order, so parallel metrics
+    are bit-identical to serial; per-cell timing lands in each result's
+    ``extra["sweep"]``.  A cell that fails (after one retry) surfaces a
+    structured :class:`~repro.experiments.parallel.SweepCellError`
+    without killing the rest of the sweep.
 
     Returns ``{model_name: {"metrics": Metrics, "results": [...],
     "train_seconds": float, "test_seconds": float}}``.
     """
     from ..engine import resolve_store  # local import: keep runners light
+    from .parallel import execute_matrix, resolve_jobs
 
     store = resolve_store(cache_store)
     splits = splits if splits is not None else splits_for(dataset, scale)
     spec = scale.window_spec(dataset_key)
+    seed_list = tuple(seeds) if seeds is not None else (seed,)
+    if not seed_list:
+        raise ValueError("seeds must be non-empty when given")
+    num_jobs = resolve_jobs(jobs)
+    num_cells = len(model_names) * len(splits) * len(seed_list)
+    if num_jobs > 1 and num_cells > 1:
+        return execute_matrix(
+            dataset,
+            dataset_key,
+            model_names,
+            scale,
+            splits,
+            spec,
+            seed_list,
+            use_service,
+            cache_store,
+            stsm_overrides,
+            num_jobs,
+            store,
+        )
     out: dict[str, dict] = {}
     for model_name in model_names:
         results: list[EvaluationResult] = []
         for split in splits:
-            overrides = dict(stsm_overrides)
-            if cache_store is not None:
-                # Reaches STSM-family configs; baseline builders ignore
-                # the stsm_overrides channel entirely.
-                overrides["cache_store"] = cache_store
-            model = build_model(
-                model_name,
-                dataset_key,
-                scale,
-                num_observed=len(split.observed),
-                seed=seed,
-                **overrides,
-            )
-            results.append(
-                evaluate_forecaster(
-                    model,
+            for cell_seed in seed_list:
+                began = time.perf_counter()
+                result = evaluate_cell(
                     dataset,
+                    dataset_key,
+                    model_name,
+                    scale,
                     split,
                     spec,
-                    max_test_windows=scale.max_test_windows,
+                    cell_seed,
                     use_service=use_service,
-                    store=store if use_service else None,
+                    cache_store=cache_store,
+                    stsm_overrides=stsm_overrides,
+                    store=store,
                 )
-            )
+                result.extra["sweep"] = {
+                    "jobs": 1,
+                    "cell_seconds": time.perf_counter() - began,
+                    "worker_pid": os.getpid(),
+                    "attempts": 1,
+                    "schedule_rank": len(results),
+                }
+                results.append(result)
         out[model_name] = {
             "metrics": average_metrics(results),
             "results": results,
             "train_seconds": float(np.mean([r.fit_report.train_seconds for r in results])),
             "test_seconds": float(np.mean([r.test_seconds for r in results])),
         }
-    if store is not None:
-        store.persist()  # flush served windows (fits persist themselves)
+    if store is not None and use_service:
+        # Flush served windows; fits persist themselves (Trainer flushes
+        # at fit end), so a service-less sweep has nothing new to write
+        # and skips the redundant manifest round-trip entirely.
+        store.persist()
     return out

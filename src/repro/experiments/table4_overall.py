@@ -25,8 +25,14 @@ def run(
     datasets: list[str] | None = None,
     models: list[str] | None = None,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> dict:
-    """Run the overall comparison; returns rows plus per-dataset matrices."""
+    """Run the overall comparison; returns rows plus per-dataset matrices.
+
+    ``jobs`` fans each dataset's model × split grid across worker
+    processes (bit-identical metrics; ``None`` follows
+    ``$REPRO_SWEEP_JOBS``).
+    """
     scale = get_scale(scale_name)
     keys = datasets if datasets is not None else [
         "pems-bay", "pems-07", "pems-08", "melbourne", "airq",
@@ -36,7 +42,7 @@ def run(
     matrices = {}
     for key in keys:
         dataset = build_dataset(key, scale)
-        matrix = run_matrix(dataset, key, model_names, scale, seed=seed)
+        matrix = run_matrix(dataset, key, model_names, scale, seed=seed, jobs=jobs)
         matrices[key] = matrix
         baselines = [m for m in model_names if m in BASELINE_NAMES]
         stsm_family = [m for m in model_names if m in STSM_NAMES]

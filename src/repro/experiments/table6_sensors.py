@@ -35,6 +35,7 @@ def run(
     models: list[str] | None = None,
     seed: int = 0,
     partitions: int = 4,
+    jobs: int | None = None,
 ) -> dict:
     """Sweep sensor count by taking 1..partitions vertical slices."""
     scale = get_scale(scale_name)
@@ -52,7 +53,7 @@ def run(
         index = np.sort(order[: used * partition_size])
         subset = full.subset_locations(index, name_suffix=f"{used * partition_size}sensors")
         # Average over the scale's split variants to damp small-sample noise.
-        matrix = run_matrix(subset, "pems-08", model_names, scale, seed=seed)
+        matrix = run_matrix(subset, "pems-08", model_names, scale, seed=seed, jobs=jobs)
         for model_name in model_names:
             metrics = matrix[model_name]["metrics"]
             rows.append(

@@ -11,7 +11,20 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["dtw_distance", "dtw_distance_matrix", "daily_profile", "downsample_profile"]
+__all__ = [
+    "DEFAULT_CHUNK_PAIRS",
+    "dtw_distance",
+    "dtw_distance_matrix",
+    "daily_profile",
+    "downsample_profile",
+]
+
+#: Default pair-chunk size for :func:`dtw_distance_matrix`.  The batched
+#: dynamic program keeps two ``(P, m + 1)`` float rows plus the gathered
+#: ``(P, n)`` / ``(P, m)`` series copies alive at once, so bounding P
+#: bounds peak memory: at 4096 pairs and 96-point daily profiles that is
+#: a few MB, regardless of how large N(N-1)/2 grows.
+DEFAULT_CHUNK_PAIRS = 4096
 
 
 def dtw_distance(a: np.ndarray, b: np.ndarray, band: int | None = None) -> float:
@@ -78,10 +91,39 @@ def _dtw_batch(left: np.ndarray, right: np.ndarray, band: int | None) -> np.ndar
     return prev[:, m]
 
 
+def _dtw_batch_chunked(
+    left: np.ndarray,
+    right: np.ndarray,
+    pair_i: np.ndarray,
+    pair_j: np.ndarray,
+    band: int | None,
+    chunk_pairs: int | None,
+) -> np.ndarray:
+    """Gather-and-batch DTW over index pairs, ``chunk_pairs`` at a time.
+
+    Chunking only partitions the pair axis — each pair's dynamic program
+    is independent (every vectorised op in :func:`_dtw_batch` is
+    element-wise per pair), so the outputs are bit-identical to one
+    monolithic batch while peak memory stays bounded by the chunk size
+    instead of the full pair count.
+    """
+    total = len(pair_i)
+    if chunk_pairs is None or chunk_pairs <= 0 or chunk_pairs >= total:
+        return _dtw_batch(left[pair_i], right[pair_j], band)
+    flat = np.empty(total)
+    for low in range(0, total, chunk_pairs):
+        high = min(low + chunk_pairs, total)
+        flat[low:high] = _dtw_batch(
+            left[pair_i[low:high]], right[pair_j[low:high]], band
+        )
+    return flat
+
+
 def dtw_distance_matrix(
     series: np.ndarray,
     others: np.ndarray | None = None,
     band: int | None = None,
+    chunk_pairs: int | None = DEFAULT_CHUNK_PAIRS,
 ) -> np.ndarray:
     """Pairwise DTW distances.
 
@@ -94,6 +136,11 @@ def dtw_distance_matrix(
         cross matrix, otherwise the symmetric ``(N, N)`` self matrix.
     band:
         Sakoe-Chiba half-width applied to every pair.
+    chunk_pairs:
+        Evaluate at most this many pairs per batched dynamic program so
+        the N(N-1)/2 self-pair (or N*M cross) grid never materialises at
+        once — bit-identical outputs, bounded peak RSS.  ``None`` or a
+        non-positive value disables chunking.
     """
     series = np.atleast_2d(np.asarray(series, dtype=float))
     if others is None:
@@ -101,7 +148,7 @@ def dtw_distance_matrix(
         if n < 2:
             return np.zeros((n, n))
         upper_i, upper_j = np.triu_indices(n, k=1)
-        flat = _dtw_batch(series[upper_i], series[upper_j], band)
+        flat = _dtw_batch_chunked(series, series, upper_i, upper_j, band, chunk_pairs)
         out = np.zeros((n, n))
         out[upper_i, upper_j] = flat
         out[upper_j, upper_i] = flat
@@ -109,7 +156,9 @@ def dtw_distance_matrix(
     others = np.atleast_2d(np.asarray(others, dtype=float))
     n, m = len(series), len(others)
     grid_i, grid_j = np.meshgrid(np.arange(n), np.arange(m), indexing="ij")
-    flat = _dtw_batch(series[grid_i.ravel()], others[grid_j.ravel()], band)
+    flat = _dtw_batch_chunked(
+        series, others, grid_i.ravel(), grid_j.ravel(), band, chunk_pairs
+    )
     return flat.reshape(n, m)
 
 

@@ -98,6 +98,46 @@ class TestDTWMatrix:
         assert dtw_distance_matrix(np.ones((1, 5))).shape == (1, 1)
 
 
+class TestPairChunking:
+    """chunk_pairs bounds memory without changing a single bit."""
+
+    def test_chunked_self_matrix_bitwise_equal(self):
+        rng = np.random.default_rng(11)
+        series = rng.normal(size=(9, 12))  # 36 self pairs
+        full = dtw_distance_matrix(series, chunk_pairs=None)
+        for chunk in (1, 5, 36, 1000):
+            chunked = dtw_distance_matrix(series, chunk_pairs=chunk)
+            np.testing.assert_array_equal(chunked, full)
+
+    def test_chunked_cross_matrix_bitwise_equal(self):
+        rng = np.random.default_rng(12)
+        left = rng.normal(size=(5, 10))
+        right = rng.normal(size=(7, 10))  # 35 cross pairs
+        full = dtw_distance_matrix(left, right, chunk_pairs=None)
+        for chunk in (1, 8, 35):
+            chunked = dtw_distance_matrix(left, right, chunk_pairs=chunk)
+            np.testing.assert_array_equal(chunked, full)
+
+    def test_chunked_banded_bitwise_equal(self):
+        rng = np.random.default_rng(13)
+        series = rng.normal(size=(6, 9))
+        full = dtw_distance_matrix(series, band=3, chunk_pairs=None)
+        chunked = dtw_distance_matrix(series, band=3, chunk_pairs=4)
+        np.testing.assert_array_equal(chunked, full)
+
+    def test_nonpositive_chunk_disables_chunking(self):
+        rng = np.random.default_rng(14)
+        series = rng.normal(size=(4, 6))
+        full = dtw_distance_matrix(series, chunk_pairs=None)
+        np.testing.assert_array_equal(dtw_distance_matrix(series, chunk_pairs=0), full)
+        np.testing.assert_array_equal(dtw_distance_matrix(series, chunk_pairs=-3), full)
+
+    def test_default_chunk_is_bounded(self):
+        from repro.temporal.dtw import DEFAULT_CHUNK_PAIRS
+
+        assert 0 < DEFAULT_CHUNK_PAIRS <= 1 << 16
+
+
 class TestProfiles:
     def test_daily_profile_shape(self):
         values = np.arange(48, dtype=float).reshape(12, 4)
