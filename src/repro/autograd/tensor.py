@@ -19,8 +19,11 @@ Design notes
   summing gradients over the broadcast axes.
 * The graph is a DAG of ``Tensor`` nodes.  ``backward`` runs a topological
   sort and calls each node's local backward closure exactly once.
-* A module-level flag (:func:`no_grad`) disables taping, which makes
-  inference allocation-free apart from the forward arrays.
+* A thread-local flag (:func:`no_grad`) disables taping, which makes
+  inference allocation-free apart from the forward arrays.  Per-thread
+  scoping matters: serving threads run ``predict`` under ``no_grad()``
+  while the streaming subsystem may be training a refit on another
+  thread of the same process.
 * Most backward closures capture the backend active at forward time,
   but gradient accumulation, unbroadcasting and the seed gradient
   resolve the backend live — a taped graph must therefore be replayed
@@ -33,6 +36,7 @@ from __future__ import annotations
 
 import contextlib
 import math
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
@@ -41,24 +45,27 @@ from ..backend import get_backend
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: a serving thread running ``predict`` under
+# ``no_grad()`` must not stop a concurrent training thread from taping
+# (the streaming subsystem refits a model while the previous one serves
+# in the same process).
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables gradient taping inside its block."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded on the tape."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad, shape: tuple[int, ...]):
@@ -177,7 +184,7 @@ class Tensor:
         backward: Callable,
     ) -> "Tensor":
         """Create a result node, taping it only when grad mode is on."""
-        track = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        track = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not track:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)

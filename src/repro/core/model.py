@@ -238,10 +238,32 @@ class STSMForecaster(Forecaster):
         split: SpaceSplit,
         spec: WindowSpec,
         train_steps: np.ndarray,
+        *,
+        warm_start_dir=None,
+        warm_start_state=None,
+        checkpoint_dir=None,
     ) -> FitReport:
-        """Train under the config's array backend (None = process default)."""
+        """Train under the config's array backend (None = process default).
+
+        ``warm_start_dir`` seeds the optimisation from a PR 2 best-epoch
+        checkpoint directory via :meth:`~repro.engine.Trainer.restore`
+        (a missing/unreadable checkpoint degrades to a cold start);
+        ``warm_start_state`` seeds it from an in-memory state dict
+        directly (mutually exclusive with ``warm_start_dir``).  Because
+        the network's own initialisation is fully determined by
+        ``config.seed`` and loading either source overwrites every
+        parameter, two fits seeded from the same weights follow
+        bit-identical trajectories regardless of which path loaded them.
+        ``checkpoint_dir`` persists this fit's best epoch for later
+        warm starts (see :class:`~repro.engine.EarlyStopping`).
+        """
         with use_backend(self._resolved_backend()):
-            return self._fit_impl(dataset, split, spec, train_steps)
+            return self._fit_impl(
+                dataset, split, spec, train_steps,
+                warm_start_dir=warm_start_dir,
+                warm_start_state=warm_start_state,
+                checkpoint_dir=checkpoint_dir,
+            )
 
     def _fit_impl(
         self,
@@ -249,7 +271,13 @@ class STSMForecaster(Forecaster):
         split: SpaceSplit,
         spec: WindowSpec,
         train_steps: np.ndarray,
+        *,
+        warm_start_dir=None,
+        warm_start_state=None,
+        checkpoint_dir=None,
     ) -> FitReport:
+        if warm_start_dir is not None and warm_start_state is not None:
+            raise ValueError("pass warm_start_dir or warm_start_state, not both")
         started = time.perf_counter()
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -398,7 +426,7 @@ class STSMForecaster(Forecaster):
             val_local=val_local,
             a_dtw_val_t=a_dtw_val_t,
         )
-        early_stopping = EarlyStopping(patience=cfg.patience)
+        early_stopping = EarlyStopping(patience=cfg.patience, checkpoint_dir=checkpoint_dir)
         scheduler = build_scheduler(
             cfg.lr_schedule,
             program.optimiser,
@@ -414,6 +442,12 @@ class STSMForecaster(Forecaster):
             schedulers=[scheduler] if scheduler is not None else None,
             store=store,
         )
+        self.warm_started = False
+        if warm_start_dir is not None:
+            self.warm_started = trainer.restore(warm_start_dir)
+        elif warm_start_state is not None:
+            program.load_state_dict(warm_start_state)
+            self.warm_started = True
         history = trainer.fit()
 
         self._fitted = True
@@ -424,7 +458,10 @@ class STSMForecaster(Forecaster):
             train_seconds=time.perf_counter() - started,
             epochs=history.epochs,
             history=list(history.train_losses),
-            extra={"best_val_rmse": float(early_stopping.best_score)},
+            extra={
+                "best_val_rmse": float(early_stopping.best_score),
+                "warm_started": self.warm_started,
+            },
         )
 
     # ------------------------------------------------------------------

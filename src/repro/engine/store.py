@@ -37,6 +37,7 @@ import dataclasses
 import json
 import os
 import threading
+import time
 import warnings
 import zipfile
 from collections import OrderedDict
@@ -76,6 +77,11 @@ _ARRAY_PREFIX = "a:"
 #: forecast blocks are full arrays and stay shallower.
 DEFAULT_MAXSIZE = {"dtw_pair": 1 << 17, "mask_fill": 1024, "forecast_window": 4096}
 _FALLBACK_MAXSIZE = 4096
+
+
+def _payload_bytes(value) -> int:
+    """Disk-tier payload size of one stored value (floats are 8 bytes)."""
+    return int(value.nbytes) if isinstance(value, np.ndarray) else 8
 
 
 class ArtifactStore:
@@ -136,6 +142,12 @@ class ArtifactStore:
         self._loaded: OrderedDict[str, dict] = OrderedDict()
         # Entries written since the last persist(): (ns, key) -> value.
         self._dirty: dict[tuple[str, bytes], object] = {}
+        # Lifecycle metadata stamped at put() time for dirty entries and
+        # recovered from the manifest for disk entries:
+        # (ns, hex key) -> {"created_at": float, "bytes": int}.  Absent
+        # for entries persisted by pre-metadata writers (old manifests
+        # stay readable; their entries just carry no accounting).
+        self._entry_meta: dict[tuple[str, str], dict] = {}
         self._segment_counter = 0
         # Telemetry, per namespace.
         self._hits: dict[str, int] = {}
@@ -187,6 +199,15 @@ class ArtifactStore:
             self._tier(namespace).put(key, value)
             if self.disk_dir is not None and not self.read_only:
                 self._dirty[(namespace, key)] = value
+                # Stamp lifecycle metadata at put() time — persist()
+                # writes it into the manifest so later processes can do
+                # age/size accounting (GC, quotas) without decoding
+                # segments.  First write wins: a re-put of an existing
+                # content key is the same artifact, not a new one.
+                self._entry_meta.setdefault(
+                    (namespace, key.hex()),
+                    {"created_at": time.time(), "bytes": _payload_bytes(value)},
+                )
 
     def get_or_compute(self, namespace: str, key: bytes, compute):
         """Atomic-enough get-or-put: ``compute`` runs outside the lock.
@@ -267,10 +288,15 @@ class ArtifactStore:
             try:
                 manifest = json.loads(manifest_path.read_text())
                 if manifest.get("format_version") == _FORMAT_VERSION:
-                    segments = {
-                        name: [(spec["namespace"], hexkey) for hexkey in spec["keys"]]
-                        for name, spec in manifest.get("segments", {}).items()
-                    }
+                    segments = {}
+                    for name, spec in manifest.get("segments", {}).items():
+                        namespace = spec["namespace"]
+                        segments[name] = [(namespace, hexkey) for hexkey in spec["keys"]]
+                        # Optional per-entry lifecycle metadata (absent
+                        # from manifests written before it existed).
+                        for hexkey, meta in (spec.get("entries") or {}).items():
+                            if isinstance(meta, dict):
+                                self._entry_meta.setdefault((namespace, hexkey), meta)
             except (OSError, ValueError, KeyError, TypeError) as error:
                 warnings.warn(f"unreadable cache manifest {manifest_path}: {error}")
         if segments is None:
@@ -288,6 +314,17 @@ class ArtifactStore:
             decoded = self._load_segment(path.name)
             if decoded is not None:
                 segments[path.name] = list(decoded.keys())
+                # A rescued segment carries no manifest metadata; its
+                # file mtime is the best available creation stamp.
+                try:
+                    rescued_at = path.stat().st_mtime
+                except OSError:
+                    rescued_at = time.time()
+                for entry, value in decoded.items():
+                    self._entry_meta.setdefault(
+                        entry,
+                        {"created_at": rescued_at, "bytes": _payload_bytes(value)},
+                    )
                 self._loaded[path.name] = decoded
                 while len(self._loaded) > self.max_loaded_segments:
                     self._loaded.popitem(last=False)
@@ -359,7 +396,19 @@ class ArtifactStore:
                     np.savez(handle, **payload)
                 os.replace(staging, self.disk_dir / filename)
                 hexkeys = [key.hex() for key in entries]
-                new_segments[filename] = {"namespace": namespace, "keys": hexkeys}
+                new_segments[filename] = {
+                    "namespace": namespace,
+                    "keys": hexkeys,
+                    # Per-entry lifecycle metadata (created_at + payload
+                    # bytes), stamped at put() time.  Readers that
+                    # predate it ignore the extra field, so the format
+                    # version stays 1.
+                    "entries": {
+                        hexkey: self._entry_meta[(namespace, hexkey)]
+                        for hexkey in hexkeys
+                        if (namespace, hexkey) in self._entry_meta
+                    },
+                }
                 for hexkey in hexkeys:
                     self._disk_index[(namespace, hexkey)] = filename
                 written += len(entries)
@@ -401,6 +450,9 @@ class ArtifactStore:
             if hexkey not in keys:
                 keys.add(hexkey)
                 spec["keys"].append(hexkey)
+                meta = self._entry_meta.get((namespace, hexkey))
+                if meta is not None:
+                    spec.setdefault("entries", {})[hexkey] = meta
         segments.update(new_segments)
         manifest = {"format_version": _FORMAT_VERSION, "segments": segments}
         staging = manifest_path.with_suffix(".json.tmp")
@@ -443,24 +495,46 @@ class ArtifactStore:
 
     @property
     def stats(self) -> dict:
-        """Per-namespace and total hit/miss/size counters."""
+        """Per-namespace and total hit/miss/size/byte counters.
+
+        ``memory_bytes`` is exact (computed from the live memory tier);
+        ``disk_bytes`` sums the manifest's per-entry metadata and
+        therefore under-counts directories written by pre-metadata
+        versions (their entries carry no size records).
+        """
         with self._lock:
             namespaces = {}
             disk_items: dict[str, int] = {}
-            for namespace, _hexkey in self._disk_index:
+            disk_bytes: dict[str, int] = {}
+            for namespace, hexkey in self._disk_index:
                 disk_items[namespace] = disk_items.get(namespace, 0) + 1
+                meta = self._entry_meta.get((namespace, hexkey))
+                if meta is not None:
+                    disk_bytes[namespace] = (
+                        disk_bytes.get(namespace, 0) + int(meta.get("bytes") or 0)
+                    )
             for namespace in sorted(set(self._tiers) | set(disk_items)):
                 tier = self._tiers.get(namespace)
+                memory_bytes = (
+                    sum(_payload_bytes(value) for _key, value in tier.items())
+                    if tier is not None
+                    else 0
+                )
                 namespaces[namespace] = {
                     "hits": self._hits.get(namespace, 0),
                     "disk_hits": self._disk_hits.get(namespace, 0),
                     "misses": self._misses.get(namespace, 0),
                     "memory_items": len(tier) if tier is not None else 0,
                     "disk_items": disk_items.get(namespace, 0),
+                    "memory_bytes": memory_bytes,
+                    "disk_bytes": disk_bytes.get(namespace, 0),
                 }
             totals = {
                 field: sum(ns[field] for ns in namespaces.values())
-                for field in ("hits", "disk_hits", "misses", "memory_items", "disk_items")
+                for field in (
+                    "hits", "disk_hits", "misses", "memory_items", "disk_items",
+                    "memory_bytes", "disk_bytes",
+                )
             }
             totals["dirty"] = len(self._dirty)
             totals["corrupt_segments"] = self.corrupt_segments

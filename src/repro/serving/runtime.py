@@ -23,15 +23,19 @@ tables.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
 from ..interfaces import Forecaster
-from .errors import ModelNotFound
+from .errors import InvalidRequest, ModelNotFound, ServingError
 from .scheduler import AsyncForecast, MicroBatchScheduler
 from .service import ForecastService
 
 __all__ = ["ServingRuntime"]
+
+#: Swap records retained for telemetry (the counters never reset).
+_SWAP_HISTORY_MAXLEN = 64
 
 
 class ServingRuntime:
@@ -72,6 +76,18 @@ class ServingRuntime:
         # barrier; a shutdown would fail requests the drain promised to
         # serve), so both raise while this is non-zero.
         self._draining = 0
+        # Blue/green swap telemetry: per-key swap counts, bounded swap
+        # records, and the final counters of every retired scheduler
+        # (folded per key so "every submitted request completed" stays
+        # checkable across swaps — a live scheduler's stats start over).
+        self._swap_counts: dict[str, int] = {}
+        self._swap_history: list[dict] = []
+        self._retired: dict[str, dict] = {}
+        # Extra /v1/stats sections: an attached ArtifactStore surfaces
+        # cache telemetry, named providers (e.g. the streaming bridge's
+        # refit-lag stats) contribute their own top-level sections.
+        self._store = None
+        self._stats_sources: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -80,9 +96,26 @@ class ServingRuntime:
         self,
         key: str,
         forecaster: Forecaster | ForecastService,
+        *,
+        replace: bool = False,
+        drain_timeout: float | None = None,
         **overrides,
     ) -> MicroBatchScheduler:
-        """Host ``forecaster`` (fitted) under ``key``; returns its scheduler."""
+        """Host ``forecaster`` (fitted) under ``key``; returns its scheduler.
+
+        With ``replace=True`` an existing registration is blue/green
+        swapped: the new scheduler is built and atomically installed
+        under the key (new requests route to it from that instant), then
+        the old scheduler is drained — every request it already accepted
+        is served by the old model — and shut down.  A request that
+        races the swap and reaches the old scheduler after its intake
+        closed is transparently resubmitted to the new one by
+        :meth:`submit`, so no request is ever dropped across a swap.
+        The retired scheduler's final counters are folded into the
+        ``swaps`` telemetry section (a fresh scheduler's stats start
+        over).  ``replace=True`` with no existing registration is an
+        ordinary register.
+        """
         key = str(key)
         with self._lock:
             if self._closed:
@@ -92,8 +125,12 @@ class ServingRuntime:
                     f"cannot register {key!r} while a drain() is in flight; "
                     "wait for the drain barrier to release"
                 )
-            if key in self._schedulers:
-                raise ValueError(f"model key {key!r} is already registered")
+            old = self._schedulers.get(key)
+            if old is not None and not replace:
+                raise ValueError(
+                    f"model key {key!r} is already registered "
+                    "(pass replace=True to blue/green swap it)"
+                )
             settings = {**self._defaults, **overrides}
             if isinstance(forecaster, ForecastService) and "cache_size" not in overrides:
                 # A pre-built service owns its cache; only an explicit
@@ -101,8 +138,35 @@ class ServingRuntime:
                 # scheduler's incompatibility check.
                 settings.pop("cache_size", None)
             scheduler = MicroBatchScheduler(forecaster, name=f"serve[{key}]", **settings)
+            # The atomic swap: from here on submit() routes to the new
+            # scheduler.  The old one still owes every request it
+            # accepted; it is drained below, outside the lock, so the
+            # swap never blocks routing.
             self._schedulers[key] = scheduler
-            return scheduler
+        if old is not None:
+            drain_started = time.monotonic()
+            old.shutdown(drain=True, timeout=drain_timeout)
+            drain_seconds = time.monotonic() - drain_started
+            final = old.stats
+            with self._lock:
+                self._swap_counts[key] = self._swap_counts.get(key, 0) + 1
+                retired = self._retired.setdefault(
+                    key,
+                    {k: 0 for k in ("submitted", "completed", "rejected",
+                                    "failed", "fast_hits", "batches")},
+                )
+                for field in retired:
+                    retired[field] += final[field]
+                self._swap_history.append({
+                    "model": key,
+                    "swap": self._swap_counts[key],
+                    "at": time.time(),
+                    "drain_seconds": drain_seconds,
+                    "retired_completed": final["completed"],
+                    "retired_failed": final["failed"],
+                })
+                del self._swap_history[:-_SWAP_HISTORY_MAXLEN]
+        return scheduler
 
     def scheduler(self, key: str) -> MicroBatchScheduler:
         with self._lock:
@@ -129,12 +193,33 @@ class ServingRuntime:
     # Traffic
     # ------------------------------------------------------------------
     def submit(self, key: str, start: int) -> AsyncForecast:
-        """Route one window-start request to the model hosted as ``key``."""
-        return self.scheduler(key).submit(start)
+        """Route one window-start request to the model hosted as ``key``.
+
+        Swap-safe: a submit that races a ``register(..., replace=True)``
+        and reaches the outgoing scheduler after its intake closed is
+        retried against whichever scheduler the key routes to now, so a
+        blue/green swap can never drop a request.  A genuine shutdown
+        (the closed scheduler is still the registered one) re-raises.
+        """
+        while True:
+            scheduler = self.scheduler(key)
+            try:
+                return scheduler.submit(start)
+            except RuntimeError as error:
+                if isinstance(error, ServingError):
+                    raise  # QueueFull etc. — admission policy, not a swap
+                with self._lock:
+                    current = self._schedulers.get(key)
+                if current is None or current is scheduler:
+                    raise
 
     def forecast(self, key: str, window_starts: np.ndarray) -> np.ndarray:
         """Synchronous batched forecasts from one hosted model."""
-        return self.scheduler(key).forecast(window_starts)
+        window_starts = np.asarray(window_starts, dtype=int).ravel()
+        if window_starts.size == 0:
+            raise InvalidRequest("forecast() needs at least one window start")
+        handles = [self.submit(key, int(s)) for s in window_starts]
+        return np.stack([h.result() for h in handles], axis=0)
 
     def warm_up(self, key: str, window_starts: np.ndarray) -> int:
         """Pre-populate a model's result cache through the serving path.
@@ -144,13 +229,12 @@ class ServingRuntime:
         the entries live traffic would have produced.  Returns the
         number of windows now cached.
         """
-        scheduler = self.scheduler(key)
         window_starts = np.asarray(window_starts, dtype=int).ravel()
         if window_starts.size:
-            handles = [scheduler.submit(int(s)) for s in window_starts]
+            handles = [self.submit(key, int(s)) for s in window_starts]
             for handle in handles:
                 handle.result()
-        return len(scheduler.service._results)
+        return len(self.scheduler(key).service._results)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -204,8 +288,39 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
+    def attach_store(self, store) -> None:
+        """Surface an :class:`~repro.engine.ArtifactStore`'s counters.
+
+        The attached store's per-namespace stats (entries, bytes,
+        hit/miss counters) appear under a ``store`` key in :meth:`stats`
+        — and therefore on the wire at ``GET /v1/stats`` — so serving
+        and cache telemetry land in one place.
+        """
+        with self._lock:
+            self._store = store
+
+    def add_stats_source(self, name: str, provider) -> None:
+        """Register a callable contributing a named :meth:`stats` section.
+
+        ``provider()`` is invoked on every full ``stats()`` read; the
+        streaming bridge uses this to publish refit-lag and swap
+        telemetry.  Reserved section names (``models``, ``totals``,
+        ``store``, ``swaps``) are rejected.
+        """
+        if name in ("models", "totals", "store", "swaps"):
+            raise ValueError(f"stats section name {name!r} is reserved")
+        with self._lock:
+            self._stats_sources[name] = provider
+
     def stats(self, key: str | None = None) -> dict:
-        """Serving telemetry for one model, or all models plus totals."""
+        """Serving telemetry for one model, or all models plus totals.
+
+        The full (keyless) form carries optional sections beyond
+        ``models``/``totals``: ``swaps`` (blue/green swap history and
+        retired-scheduler counters) once a replace has happened,
+        ``store`` when an artifact store is attached, plus one section
+        per :meth:`add_stats_source` provider.
+        """
         if key is not None:
             return self.scheduler(key).stats
         with self._lock:
@@ -241,4 +356,27 @@ class ServingRuntime:
         totals["cache_hit_pct"] = (
             100.0 * totals["cache_hits"] / requests if requests else 0.0
         )
-        return {"models": per_model, "totals": totals}
+        result = {"models": per_model, "totals": totals}
+        with self._lock:
+            store = self._store
+            sources = dict(self._stats_sources)
+            if self._swap_history:
+                retired_totals = {
+                    field: sum(r[field] for r in self._retired.values())
+                    for field in ("submitted", "completed", "rejected",
+                                  "failed", "fast_hits", "batches")
+                }
+                result["swaps"] = {
+                    "count": sum(self._swap_counts.values()),
+                    "by_model": dict(self._swap_counts),
+                    "retired": retired_totals,
+                    "history": [dict(r) for r in self._swap_history],
+                }
+        if store is not None:
+            result["store"] = store.stats
+        for name, provider in sources.items():
+            try:
+                result[name] = provider()
+            except Exception as error:  # noqa: BLE001 — stats must not 500
+                result[name] = {"error": f"{type(error).__name__}: {error}"}
+        return result

@@ -284,6 +284,10 @@ def _build_runtime(config: ServeConfig) -> tuple[ServingRuntime, dict[str, list[
         log_batches=config.log_batches,
         cache_fast_path=config.cache_fast_path,
     )
+    if store is not None:
+        # Cache telemetry on /v1/stats: the bundle store's per-namespace
+        # entry/byte/hit counters ride along with serving stats.
+        runtime.attach_store(store)
     warmups = {}
     for key, (forecaster, warmup_starts) in bundle.items():
         scope = default_store_scope(forecaster) if store is not None else None

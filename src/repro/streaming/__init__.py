@@ -1,0 +1,36 @@
+"""Streaming ingestion and incremental refit: live-feed model freshness.
+
+Three layers, composable and individually testable:
+
+* **Ingestion** — :class:`FeedReplayer` replays dataset readings on a
+  deterministic simulated clock into a thread-safe
+  :class:`StreamBuffer` (watermark/window accounting, bounded
+  retention, first-class dataset views).
+* **Incremental refit** — :class:`RefitScheduler` retrains on the
+  rolling window at watermark-derived triggers, warm-starting from the
+  previous best-epoch checkpoint and reusing store-cached artifacts;
+  :func:`fit_reference` proves each refit bitwise-equal to a
+  from-scratch fit of the same window.
+* **Live swap** — :class:`LiveSwapBridge` blue/green swaps each
+  refreshed model into a :class:`~repro.serving.ServingRuntime`
+  without dropping a request, and publishes refit-lag and swap
+  telemetry through ``/v1/stats``.
+
+``python -m repro.streaming`` drives the stack end to end (``replay``
+and ``serve-live`` subcommands).
+"""
+
+from .bridge import LiveSwapBridge
+from .buffer import StreamBuffer
+from .refit import RefitPolicy, RefitRecord, RefitScheduler, fit_reference
+from .replay import FeedReplayer
+
+__all__ = [
+    "FeedReplayer",
+    "LiveSwapBridge",
+    "RefitPolicy",
+    "RefitRecord",
+    "RefitScheduler",
+    "StreamBuffer",
+    "fit_reference",
+]

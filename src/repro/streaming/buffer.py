@@ -1,0 +1,192 @@
+"""Thread-safe append-only buffer for live sensor readings.
+
+The ingestion half of the streaming subsystem: a
+:class:`~repro.streaming.FeedReplayer` (or any producer) appends one
+``(N,)`` reading row per time step, in step order, from its own thread;
+consumers — the :class:`~repro.streaming.RefitScheduler` above all —
+read consistent snapshots, wait on the watermark, and materialise
+rolling-window dataset views for refits.
+
+Vocabulary:
+
+* **watermark** — the number of contiguous steps ingested so far; step
+  indices ``[0, watermark)`` have arrived.  Rows are accepted strictly
+  in step order (the replayer is append-only), so the watermark is both
+  a count and an exclusive upper bound.
+* **arrival time** — ``time.monotonic()`` stamped (or supplied) per row
+  at append time; refit-lag is measured from the arrival of a trigger
+  window's last row to the moment the refreshed model is live.
+* **retention** — ``max_steps`` optionally bounds the rows held in
+  memory.  Eviction drops the *oldest* rows but never renumbers: all
+  indices stay absolute, and reads below :attr:`base` raise.  Window
+  accounting therefore survives unbounded feeds with bounded memory.
+
+A :class:`SpatioTemporalDataset` template supplies everything a
+dataset view needs beyond the values — coordinates, static features,
+steps-per-day — so :meth:`dataset_view` can hand a fit a first-class
+dataset covering exactly the buffered rows it asks for.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..data.dataset import SpatioTemporalDataset
+
+__all__ = ["StreamBuffer"]
+
+
+class StreamBuffer:
+    """Append-only, watermark-tracked row buffer over a dataset template.
+
+    Parameters
+    ----------
+    template:
+        Dataset supplying the location geometry (coords, features,
+        steps_per_day) of the feed.  Appended rows must match its
+        location count; its ``values`` are *not* consulted — the buffer
+        holds only what actually arrived.
+    max_steps:
+        Optional retention bound: once exceeded, the oldest rows are
+        evicted (indices stay absolute; see :attr:`base`).
+    """
+
+    def __init__(
+        self,
+        template: SpatioTemporalDataset,
+        max_steps: int | None = None,
+    ) -> None:
+        if max_steps is not None and max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.template = template
+        self.max_steps = max_steps
+        self.num_locations = template.num_locations
+        self._rows: list[np.ndarray] = []
+        self._arrivals: list[float] = []
+        self._base = 0  # absolute index of _rows[0]
+        self._appends = 0
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def append(self, values, arrival_time: float | None = None) -> int:
+        """Ingest one ``(N,)`` row or a ``(k, N)`` block of rows in order.
+
+        Returns the new watermark.  ``arrival_time`` (monotonic seconds)
+        defaults to now and stamps every row of a block — a block is one
+        arrival event, e.g. a high-speedup replay tick delivering
+        several steps at once.
+        """
+        block = np.asarray(values, dtype=float)
+        if block.ndim == 1:
+            block = block[None, :]
+        if block.ndim != 2 or block.shape[1] != self.num_locations:
+            raise ValueError(
+                f"expected rows of {self.num_locations} locations, "
+                f"got shape {block.shape}"
+            )
+        stamp = time.monotonic() if arrival_time is None else float(arrival_time)
+        with self._cond:
+            for row in block:
+                self._rows.append(np.array(row, dtype=float))
+                self._arrivals.append(stamp)
+            self._appends += 1
+            if self.max_steps is not None:
+                excess = len(self._rows) - self.max_steps
+                if excess > 0:
+                    del self._rows[:excess]
+                    del self._arrivals[:excess]
+                    self._base += excess
+            self._cond.notify_all()
+            return self._base + len(self._rows)
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """Exclusive upper bound of ingested step indices."""
+        with self._cond:
+            return self._base + len(self._rows)
+
+    @property
+    def base(self) -> int:
+        """Absolute index of the oldest retained row."""
+        with self._cond:
+            return self._base
+
+    def wait_for_watermark(self, target: int, timeout: float | None = None) -> bool:
+        """Block until ``watermark >= target`` (True) or timeout (False)."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._base + len(self._rows) >= target, timeout
+            )
+
+    def _check_range(self, start: int, stop: int) -> None:
+        high = self._base + len(self._rows)
+        if start < self._base:
+            raise IndexError(
+                f"steps [{start}, {stop}) reach below the retention base "
+                f"{self._base} (max_steps={self.max_steps})"
+            )
+        if stop > high:
+            raise IndexError(
+                f"steps [{start}, {stop}) reach beyond the watermark {high}"
+            )
+        if start >= stop:
+            raise IndexError(f"empty step range [{start}, {stop})")
+
+    def values(self, start: int, stop: int) -> np.ndarray:
+        """Copy of the ingested rows for absolute steps ``[start, stop)``."""
+        with self._cond:
+            self._check_range(start, stop)
+            rows = self._rows[start - self._base : stop - self._base]
+            return np.stack(rows, axis=0)
+
+    def arrival_times(self, start: int, stop: int) -> np.ndarray:
+        """Monotonic arrival stamps for absolute steps ``[start, stop)``."""
+        with self._cond:
+            self._check_range(start, stop)
+            return np.asarray(
+                self._arrivals[start - self._base : stop - self._base], dtype=float
+            )
+
+    def dataset_view(
+        self, start: int, stop: int, name_suffix: str | None = None
+    ) -> SpatioTemporalDataset:
+        """A first-class dataset over ingested steps ``[start, stop)``.
+
+        Carries the template's geometry and static features with the
+        *arrived* values — a refit therefore trains on exactly what the
+        feed delivered, never on rows the template knows but the stream
+        has not produced yet.
+        """
+        suffix = name_suffix if name_suffix is not None else f"live-{start}-{stop}"
+        template = self.template
+        return SpatioTemporalDataset(
+            name=f"{template.name}-{suffix}",
+            values=self.values(start, stop),
+            coords=template.coords,
+            steps_per_day=template.steps_per_day,
+            features=template.features,
+            road_network=template.road_network,
+            interval_minutes=template.interval_minutes,
+            metadata={**template.metadata, "stream_window": [int(start), int(stop)]},
+        )
+
+    @property
+    def stats(self) -> dict:
+        """Ingestion accounting for telemetry surfaces."""
+        with self._cond:
+            rows = len(self._rows)
+            return {
+                "watermark": self._base + rows,
+                "base": self._base,
+                "rows_retained": rows,
+                "bytes_retained": int(rows * self.num_locations * 8),
+                "appends": self._appends,
+            }

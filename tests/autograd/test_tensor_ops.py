@@ -6,6 +6,8 @@ autograd gradient against central finite differences.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -202,6 +204,29 @@ class TestBackwardMechanics:
         with no_grad():
             out = a * 2.0
         assert not out.requires_grad
+
+    def test_no_grad_is_thread_local(self):
+        """A serving thread inside ``no_grad()`` must not stop another
+        thread from taping — the streaming subsystem trains a refit
+        while the previous model serves in the same process."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def serve() -> None:
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10.0)
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            a = Tensor(np.ones(3), requires_grad=True)
+            (a * 2.0).sum().backward()
+            assert np.allclose(a.grad, [2.0, 2.0, 2.0])
+        finally:
+            release.set()
+            thread.join(timeout=10.0)
 
     def test_detach_cuts_graph(self):
         a = Tensor(np.ones(3), requires_grad=True)

@@ -388,3 +388,97 @@ class TestReviewRegressions:
         with pytest.raises(ValueError, match="cache_store"):
             STSMConfig(cache_store=0).validate()
         STSMConfig(cache_store=False).validate()  # real booleans fine
+
+
+class TestManifestEntryMetadata:
+    """Disk-manifest lifecycle metadata: created_at + payload bytes."""
+
+    def test_manifest_records_created_at_and_bytes(self, tmp_path):
+        import time
+
+        before = time.time()
+        store = ArtifactStore(disk_dir=tmp_path)
+        value = np.arange(6.0).reshape(2, 3)
+        store.put("dtw_pair", _key("a"), value)
+        store.persist()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == 1  # readers stay compatible
+        (spec,) = manifest["segments"].values()
+        (meta,) = spec["entries"].values()
+        assert before <= meta["created_at"] <= time.time()
+        assert meta["bytes"] == value.nbytes
+
+    def test_metadata_survives_reload_into_stats(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key("a"), np.arange(3.0))  # 24 bytes
+        store.persist()
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        ns = fresh.stats["namespaces"]["dtw_pair"]
+        assert ns["disk_items"] == 1
+        assert ns["disk_bytes"] == 24
+
+    def test_created_at_is_first_write_time(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key("a"), np.arange(3.0))
+        first = store._entry_meta[("dtw_pair", _key("a").hex())]["created_at"]
+        store.put("dtw_pair", _key("a"), np.arange(3.0))
+        assert store._entry_meta[("dtw_pair", _key("a").hex())]["created_at"] == first
+
+    def test_old_manifest_without_entries_still_loads(self, tmp_path):
+        """Backward compatibility: manifests written before the metadata
+        existed (no "entries" key) index and serve bitwise."""
+        store = ArtifactStore(disk_dir=tmp_path)
+        value = np.arange(5.0)
+        store.put("dtw_pair", _key("a"), value)
+        store.persist()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        for spec in manifest["segments"].values():
+            spec.pop("entries")
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        assert fresh.get("dtw_pair", _key("a")).tobytes() == value.tobytes()
+        ns = fresh.stats["namespaces"]["dtw_pair"]
+        assert ns["disk_items"] == 1  # indexed even without metadata
+
+    def test_rescued_segment_gets_stamped_metadata(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key("a"), np.arange(4.0))  # 32 bytes
+        store.persist()
+        (tmp_path / MANIFEST_NAME).unlink()
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        ns = fresh.stats["namespaces"]["dtw_pair"]
+        assert ns["disk_items"] == 1
+        assert ns["disk_bytes"] == 32
+
+    def test_repersist_carries_metadata_forward(self, tmp_path):
+        first = ArtifactStore(disk_dir=tmp_path)
+        first.put("dtw_pair", _key("a"), np.arange(3.0))
+        first.persist()
+        original = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        second = ArtifactStore(disk_dir=tmp_path)
+        second.put("mask_fill", _key("b"), np.ones(2))
+        second.persist()
+        merged = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert len(merged["segments"]) == 2
+        for name, spec in original["segments"].items():
+            assert merged["segments"][name]["entries"] == spec["entries"]
+
+
+class TestByteStats:
+    def test_memory_bytes_are_exact(self):
+        store = ArtifactStore()
+        store.put("dtw_pair", _key("a"), np.arange(3.0))      # 24 bytes
+        store.put("dtw_pair", _key("b"), 1.5)                  # scalar -> 8
+        ns = store.stats["namespaces"]["dtw_pair"]
+        assert ns["memory_bytes"] == 32
+        assert store.stats["totals"]["memory_bytes"] == 32
+        assert store.stats["totals"]["disk_bytes"] == 0
+
+    def test_namespace_byte_totals_roll_up(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("dtw_pair", _key("a"), np.arange(3.0))
+        store.put("mask_fill", _key("b"), np.ones((4, 4)))
+        store.persist()
+        totals = store.stats["totals"]
+        assert totals["memory_bytes"] == 24 + 128
+        assert totals["disk_bytes"] == 24 + 128

@@ -40,6 +40,23 @@ class _UnfittedForecaster(Forecaster):
         raise AssertionError("never reached")
 
 
+class _SlowForecaster(Forecaster):
+    """Fixed per-predict delay, so swaps overlap in-flight batches."""
+
+    name = "slow"
+
+    def __init__(self, delay_s: float) -> None:
+        self.delay_s = delay_s
+
+    def fit(self, dataset, split, spec, train_steps) -> FitReport:
+        return FitReport()
+
+    def predict(self, window_starts: np.ndarray) -> np.ndarray:
+        time.sleep(self.delay_s)
+        starts = np.asarray(window_starts, dtype=float)
+        return starts[:, None, None] + np.zeros((1, 2, 3))
+
+
 class TestRouting:
     def test_requests_route_by_model_key(self):
         with ServingRuntime(deadline_ms=1.0) as runtime:
@@ -263,3 +280,125 @@ class TestStats:
         assert stats["latency"]["count"] == 0
         assert stats["latency"]["p50_ms"] is None
         assert stats["throughput_rps"] is None
+
+
+class TestBlueGreenSwap:
+    def test_replace_swaps_atomically(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("bay", _KeyedForecaster(1.0))
+            assert runtime.forecast("bay", np.array([5]))[0, 0, 0] == pytest.approx(5.0)
+            runtime.register("bay", _KeyedForecaster(100.0), replace=True)
+            assert runtime.forecast("bay", np.array([5]))[0, 0, 0] == pytest.approx(500.0)
+            assert runtime.models == ["bay"]
+
+    def test_replace_without_existing_is_plain_register(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("bay", _KeyedForecaster(2.0), replace=True)
+            assert runtime.forecast("bay", np.array([3]))[0, 0, 0] == pytest.approx(6.0)
+            assert "swaps" not in runtime.stats()
+
+    def test_duplicate_error_mentions_replace(self):
+        with ServingRuntime() as runtime:
+            runtime.register("bay", _KeyedForecaster(1.0))
+            with pytest.raises(ValueError, match="replace=True"):
+                runtime.register("bay", _KeyedForecaster(2.0))
+
+    def test_swap_drains_old_scheduler_and_folds_counters(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("bay", _KeyedForecaster(1.0))
+            handles = [runtime.submit("bay", s) for s in range(6)]
+            runtime.register("bay", _KeyedForecaster(10.0), replace=True)
+            # Requests accepted pre-swap were served (by the old model)
+            # before its scheduler shut down.
+            assert all(h.done() for h in handles)
+            assert [h.result()[0, 0] for h in handles] == [float(s) for s in range(6)]
+            stats = runtime.stats()
+            swaps = stats["swaps"]
+            assert swaps["count"] == 1
+            assert swaps["by_model"] == {"bay": 1}
+            assert swaps["retired"]["completed"] == 6
+            assert swaps["retired"]["failed"] == 0
+            record = swaps["history"][-1]
+            assert record["model"] == "bay"
+            assert record["drain_seconds"] >= 0
+            # The live scheduler's counters started over.
+            assert stats["models"]["bay"]["submitted"] == 0
+
+    def test_concurrent_submits_survive_swap(self):
+        """Regression: a submit racing the swap (old scheduler's intake
+        already closed) is transparently resubmitted, never dropped."""
+        with ServingRuntime(deadline_ms=0.5, max_queue=4096) as runtime:
+            runtime.register("bay", _SlowForecaster(0.002))
+            errors: list[Exception] = []
+            stop = threading.Event()
+
+            def hammer() -> None:
+                i = 0
+                while not stop.is_set():
+                    try:
+                        runtime.submit("bay", i).result()
+                    except Exception as error:  # noqa: BLE001
+                        errors.append(error)
+                        return
+                    i += 1
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for _ in range(4):
+                time.sleep(0.03)
+                runtime.register("bay", _SlowForecaster(0.002), replace=True)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not errors, f"swap dropped a request: {errors[:3]}"
+            stats = runtime.stats()
+            retired, live = stats["swaps"]["retired"], stats["totals"]
+            assert retired["failed"] == 0 and live["failed"] == 0
+            assert (retired["submitted"] + live["submitted"]
+                    == retired["completed"] + live["completed"])
+
+    def test_queue_full_is_not_retried_as_a_swap(self):
+        with ServingRuntime(deadline_ms=50.0, max_queue=1,
+                            admission="reject") as runtime:
+            from repro.serving import QueueFull
+
+            runtime.register("bay", _SlowForecaster(0.05))
+            accepted = runtime.submit("bay", 0)
+            with pytest.raises(QueueFull):
+                for s in range(1, 50):
+                    runtime.submit("bay", s)
+            accepted.result()
+
+
+class TestStatsSections:
+    def test_attached_store_section(self):
+        from repro.engine import ArtifactStore
+
+        store = ArtifactStore()
+        store.put("dtw_pair", b"k", np.arange(3.0))
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+            assert "store" not in runtime.stats()
+            runtime.attach_store(store)
+            section = runtime.stats()["store"]
+            assert section["namespaces"]["dtw_pair"]["memory_items"] == 1
+            assert section["namespaces"]["dtw_pair"]["memory_bytes"] == 24
+
+    def test_named_provider_section_and_errors(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+            runtime.add_stats_source("streaming", lambda: {"deploys": 3})
+            assert runtime.stats()["streaming"] == {"deploys": 3}
+
+            def broken():
+                raise RuntimeError("boom")
+
+            runtime.add_stats_source("flaky", broken)
+            assert runtime.stats()["flaky"] == {"error": "RuntimeError: boom"}
+
+    def test_reserved_section_names_rejected(self):
+        with ServingRuntime() as runtime:
+            for name in ("models", "totals", "store", "swaps"):
+                with pytest.raises(ValueError, match="reserved"):
+                    runtime.add_stats_source(name, dict)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the streaming subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import STSMConfig
+from repro.data import WindowSpec, space_split
+from repro.data.synthetic import make_pems_bay
+from repro.engine import reset_store
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store():
+    """RefitScheduler installs its store process-wide; undo after each test."""
+    yield
+    reset_store()
+
+
+@pytest.fixture(scope="session")
+def feed_dataset():
+    """A 10-sensor, 1-day feed (288 five-minute steps) — fast to refit on."""
+    return make_pems_bay(num_sensors=10, num_days=1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def feed_split(feed_dataset):
+    return space_split(feed_dataset.coords, "horizontal")
+
+
+@pytest.fixture(scope="session")
+def feed_spec():
+    return WindowSpec(input_length=8, horizon=8)
+
+
+@pytest.fixture()
+def feed_config():
+    # batch_size/window_stride sized so a 64-step rolling window yields
+    # full training batches (13 starts -> 3 batches of 4): the
+    # contrastive loss drops partial batches, and a config whose only
+    # batch is partial would never update a weight — making every
+    # "parity" assertion vacuously true.
+    return STSMConfig(
+        hidden_dim=8, num_blocks=1, tcn_levels=2, gcn_depth=1,
+        epochs=1, patience=1, batch_size=4, window_stride=4,
+        top_k=5, seed=3,
+    )

@@ -1,0 +1,109 @@
+"""FeedReplayer: deterministic clocked replay of dataset rows."""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.streaming import FeedReplayer, StreamBuffer
+
+
+class TestInstantReplay:
+    def test_infinite_speedup_delivers_everything_at_once(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        replayer = FeedReplayer(feed_dataset, buffer, speedup=math.inf)
+        delivered = replayer.run()
+        assert delivered == feed_dataset.num_steps
+        assert buffer.watermark == feed_dataset.num_steps
+        assert buffer.stats["appends"] == 1
+        assert replayer.done
+
+    def test_content_is_bitwise_the_dataset(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        FeedReplayer(feed_dataset, buffer, speedup=math.inf).run()
+        n = feed_dataset.num_steps
+        assert buffer.values(0, n).tobytes() == feed_dataset.values.tobytes()
+
+    def test_two_replays_are_bit_identical(self, feed_dataset):
+        buffers = []
+        for _ in range(2):
+            buffer = StreamBuffer(feed_dataset)
+            FeedReplayer(feed_dataset, buffer, speedup=math.inf, seed=5).run()
+            buffers.append(buffer)
+        n = feed_dataset.num_steps
+        assert buffers[0].values(0, n).tobytes() == buffers[1].values(0, n).tobytes()
+
+    def test_subrange_replay(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        replayer = FeedReplayer(
+            feed_dataset, buffer, speedup=math.inf, start_step=10, stop_step=30
+        )
+        assert replayer.run() == 20
+        assert buffer.values(0, 20).tobytes() == feed_dataset.values[10:30].tobytes()
+
+
+class TestClockedReplay:
+    def test_finite_speedup_delivers_in_order(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        # 1 ms real gap per row over 30 rows: fast, but genuinely clocked.
+        replayer = FeedReplayer(
+            feed_dataset, buffer, speedup=1.0, interval_s=0.001, stop_step=30
+        )
+        assert replayer.run() == 30
+        assert buffer.values(0, 30).tobytes() == feed_dataset.values[:30].tobytes()
+        stats = replayer.stats
+        assert stats["done"] and stats["elapsed_s"] >= 0.02
+
+    def test_jitter_is_seeded_and_content_preserving(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        replayer = FeedReplayer(
+            feed_dataset, buffer, speedup=1.0, interval_s=0.001,
+            stop_step=20, seed=11, jitter=0.5,
+        )
+        assert replayer.run() == 20
+        assert buffer.values(0, 20).tobytes() == feed_dataset.values[:20].tobytes()
+
+    def test_stop_interrupts_a_slow_replay(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        replayer = FeedReplayer(feed_dataset, buffer, speedup=1.0, interval_s=30.0)
+        replayer.start()
+        time.sleep(0.05)
+        replayer.stop()
+        replayer.join(timeout=5.0)
+        assert replayer.done
+        assert replayer.delivered < feed_dataset.num_steps
+
+    def test_start_twice_rejected(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        replayer = FeedReplayer(feed_dataset, buffer, speedup=1.0, interval_s=30.0)
+        replayer.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                replayer.start()
+        finally:
+            replayer.stop()
+            replayer.join(timeout=5.0)
+
+
+class TestValidation:
+    def test_bad_speedup(self, feed_dataset):
+        with pytest.raises(ValueError, match="speedup"):
+            FeedReplayer(feed_dataset, StreamBuffer(feed_dataset), speedup=0.0)
+
+    def test_bad_jitter(self, feed_dataset):
+        with pytest.raises(ValueError, match="jitter"):
+            FeedReplayer(feed_dataset, StreamBuffer(feed_dataset), jitter=1.0)
+
+    def test_bad_range(self, feed_dataset):
+        with pytest.raises(ValueError, match="replay range"):
+            FeedReplayer(
+                feed_dataset, StreamBuffer(feed_dataset),
+                start_step=50, stop_step=40,
+            )
+        with pytest.raises(ValueError, match="replay range"):
+            FeedReplayer(
+                feed_dataset, StreamBuffer(feed_dataset),
+                stop_step=feed_dataset.num_steps + 1,
+            )

@@ -1,0 +1,117 @@
+"""StreamBuffer: watermark accounting, retention, dataset views."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.streaming import StreamBuffer
+
+
+class TestAppend:
+    def test_single_rows_advance_watermark(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        assert buffer.watermark == 0
+        assert buffer.append(feed_dataset.values[0]) == 1
+        assert buffer.append(feed_dataset.values[1]) == 2
+        assert buffer.watermark == 2
+        assert buffer.base == 0
+
+    def test_block_append_is_one_arrival_event(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        buffer.append(feed_dataset.values[:5], arrival_time=42.0)
+        assert buffer.watermark == 5
+        assert buffer.stats["appends"] == 1
+        assert np.all(buffer.arrival_times(0, 5) == 42.0)
+
+    def test_content_is_bitwise_what_arrived(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        buffer.append(feed_dataset.values[:20])
+        assert buffer.values(0, 20).tobytes() == feed_dataset.values[:20].tobytes()
+
+    def test_wrong_width_rejected(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        with pytest.raises(ValueError, match="locations"):
+            buffer.append(np.zeros(feed_dataset.num_locations + 1))
+        with pytest.raises(ValueError, match="locations"):
+            buffer.append(np.zeros((2, 3, 4)))
+
+
+class TestRetention:
+    def test_eviction_keeps_indices_absolute(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset, max_steps=10)
+        buffer.append(feed_dataset.values[:25])
+        assert buffer.watermark == 25
+        assert buffer.base == 15
+        assert buffer.stats["rows_retained"] == 10
+        # Absolute indexing: step 20 is still row 20 of the source feed.
+        assert buffer.values(20, 21).tobytes() == feed_dataset.values[20:21].tobytes()
+
+    def test_reads_below_base_raise(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset, max_steps=5)
+        buffer.append(feed_dataset.values[:12])
+        with pytest.raises(IndexError, match="retention base"):
+            buffer.values(0, 5)
+
+    def test_reads_beyond_watermark_raise(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        buffer.append(feed_dataset.values[:3])
+        with pytest.raises(IndexError, match="watermark"):
+            buffer.values(0, 4)
+        with pytest.raises(IndexError, match="empty"):
+            buffer.values(2, 2)
+
+    def test_max_steps_validated(self, feed_dataset):
+        with pytest.raises(ValueError, match="max_steps"):
+            StreamBuffer(feed_dataset, max_steps=0)
+
+
+class TestWatermarkWait:
+    def test_wait_returns_immediately_when_reached(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        buffer.append(feed_dataset.values[:4])
+        assert buffer.wait_for_watermark(4, timeout=0.0)
+
+    def test_wait_times_out(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        assert not buffer.wait_for_watermark(1, timeout=0.01)
+
+    def test_wait_wakes_on_cross_thread_append(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+
+        def feed():
+            buffer.append(feed_dataset.values[:6])
+
+        thread = threading.Thread(target=feed)
+        thread.start()
+        assert buffer.wait_for_watermark(6, timeout=5.0)
+        thread.join()
+
+
+class TestDatasetView:
+    def test_view_carries_geometry_and_window(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        buffer.append(feed_dataset.values[:40])
+        view = buffer.dataset_view(10, 40)
+        assert view.num_steps == 30
+        assert view.num_locations == feed_dataset.num_locations
+        assert view.steps_per_day == feed_dataset.steps_per_day
+        assert view.values.tobytes() == feed_dataset.values[10:40].tobytes()
+        assert view.metadata["stream_window"] == [10, 40]
+        assert np.array_equal(view.coords, feed_dataset.coords)
+
+    def test_view_never_exposes_unarrived_rows(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        buffer.append(feed_dataset.values[:8])
+        with pytest.raises(IndexError):
+            buffer.dataset_view(0, 9)
+
+    def test_stats_shape(self, feed_dataset):
+        buffer = StreamBuffer(feed_dataset)
+        buffer.append(feed_dataset.values[:7])
+        stats = buffer.stats
+        assert stats["watermark"] == 7
+        assert stats["base"] == 0
+        assert stats["bytes_retained"] == 7 * feed_dataset.num_locations * 8

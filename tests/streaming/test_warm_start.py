@@ -1,0 +1,95 @@
+"""Cross-window warm starts: checkpoint-dir and state-dict paths agree.
+
+Satellite coverage for the PR 2 checkpoint plumbing this subsystem
+leans on: a checkpoint persisted while fitting window ``k`` must seed a
+fit on window ``k+1`` — via ``warm_start_dir`` (``Trainer.restore``) —
+bitwise identically to a fresh fit handed the same weights as an
+in-memory state dict (``warm_start_state``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import STSMForecaster
+from repro.engine import EarlyStopping
+
+
+def _windows(feed_dataset):
+    window_k = feed_dataset.subset_steps(np.arange(0, 64), name_suffix="w0")
+    window_k1 = feed_dataset.subset_steps(np.arange(32, 96), name_suffix="w1")
+    return window_k, window_k1
+
+
+def _state_bytes(model):
+    return {k: v.tobytes() for k, v in model.network.state_dict().items()}
+
+
+class TestCrossWindowWarmStart:
+    def test_dir_and_state_paths_are_bitwise_equal(
+        self, feed_dataset, feed_split, feed_spec, feed_config, tmp_path
+    ):
+        window_k, window_k1 = _windows(feed_dataset)
+        steps = np.arange(window_k.num_steps)
+        checkpoint = tmp_path / "window-k"
+        STSMForecaster(feed_config).fit(
+            window_k, feed_split, feed_spec, steps, checkpoint_dir=checkpoint
+        )
+
+        via_dir = STSMForecaster(feed_config)
+        report = via_dir.fit(
+            window_k1, feed_split, feed_spec, steps, warm_start_dir=checkpoint
+        )
+        assert report.extra["warm_started"]
+
+        state, _metadata = EarlyStopping.load_checkpoint(checkpoint)
+        via_state = STSMForecaster(feed_config)
+        via_state.fit(
+            window_k1, feed_split, feed_spec, steps, warm_start_state=state
+        )
+        assert via_state.warm_started
+
+        assert _state_bytes(via_dir) == _state_bytes(via_state)
+        starts = np.arange(0, window_k1.num_steps - feed_spec.total + 1, 8)
+        assert via_dir.predict(starts).tobytes() == via_state.predict(starts).tobytes()
+
+    def test_warm_start_actually_changes_the_trajectory(
+        self, feed_dataset, feed_split, feed_spec, feed_config, tmp_path
+    ):
+        window_k, window_k1 = _windows(feed_dataset)
+        steps = np.arange(window_k.num_steps)
+        checkpoint = tmp_path / "window-k"
+        STSMForecaster(feed_config).fit(
+            window_k, feed_split, feed_spec, steps, checkpoint_dir=checkpoint
+        )
+        warm = STSMForecaster(feed_config)
+        warm.fit(window_k1, feed_split, feed_spec, steps, warm_start_dir=checkpoint)
+        cold = STSMForecaster(feed_config)
+        cold.fit(window_k1, feed_split, feed_spec, steps)
+        assert _state_bytes(warm) != _state_bytes(cold)
+
+    def test_missing_checkpoint_degrades_to_cold_start(
+        self, feed_dataset, feed_split, feed_spec, feed_config, tmp_path
+    ):
+        _window_k, window_k1 = _windows(feed_dataset)
+        steps = np.arange(window_k1.num_steps)
+        degraded = STSMForecaster(feed_config)
+        report = degraded.fit(
+            window_k1, feed_split, feed_spec, steps,
+            warm_start_dir=tmp_path / "nothing-here",
+        )
+        assert not report.extra["warm_started"]
+        cold = STSMForecaster(feed_config)
+        cold.fit(window_k1, feed_split, feed_spec, steps)
+        assert _state_bytes(degraded) == _state_bytes(cold)
+
+    def test_both_warm_sources_rejected(
+        self, feed_dataset, feed_split, feed_spec, feed_config, tmp_path
+    ):
+        _window_k, window_k1 = _windows(feed_dataset)
+        with pytest.raises(ValueError, match="not both"):
+            STSMForecaster(feed_config).fit(
+                window_k1, feed_split, feed_spec,
+                np.arange(window_k1.num_steps),
+                warm_start_dir=tmp_path, warm_start_state={},
+            )
