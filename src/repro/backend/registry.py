@@ -27,6 +27,7 @@ import os
 import threading
 from typing import Callable, Iterator
 
+from ..obs.profiling import maybe_instrument_backend
 from .base import ArrayBackend
 from .numpy_fused import NumpyFusedBackend
 from .numpy_ref import NumpyRefBackend
@@ -117,7 +118,9 @@ def _instance(name: str) -> ArrayBackend:
         factory = _FACTORIES.get(name)
         if factory is None:
             raise UnknownBackendError(name)
-        backend = factory()
+        # With REPRO_OBS=1 every backend instance is wrapped in an
+        # op-counting proxy (attribute-forwarding; results untouched).
+        backend = maybe_instrument_backend(factory())
         _INSTANCES[name] = backend
     return backend
 

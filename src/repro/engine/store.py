@@ -45,6 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.trace import current_trace, record_span
 from .cache import LRUCache, array_key
 
 __all__ = [
@@ -588,8 +589,19 @@ class StoreView:
             return len(self._keys)
 
     def get(self, key, default=None):
+        # Ambient-trace instrumentation: a traced request (the scheduler
+        # scopes its context via use_trace) gets a store.get span with
+        # the hit/miss outcome; untraced callers pay one thread-local
+        # read.  Timing reads only — the returned value is untouched.
+        ctx = current_trace()
+        began = time.monotonic() if ctx is not None else 0.0
         mapped = self._map(key)
         value = self._store.get(self.namespace, mapped, _MISSING)
+        if ctx is not None:
+            record_span(
+                "store.get", ctx, began, time.monotonic(),
+                namespace=self.namespace, hit=value is not _MISSING,
+            )
         with self._lock:
             if value is _MISSING:
                 self.misses += 1
@@ -599,8 +611,15 @@ class StoreView:
         return value
 
     def put(self, key, value) -> None:
+        ctx = current_trace()
+        began = time.monotonic() if ctx is not None else 0.0
         mapped = self._map(key)
         self._store.put(self.namespace, mapped, value)
+        if ctx is not None:
+            record_span(
+                "store.put", ctx, began, time.monotonic(),
+                namespace=self.namespace,
+            )
         with self._lock:
             self._keys.add(mapped)
 

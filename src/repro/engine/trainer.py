@@ -37,6 +37,7 @@ Hook surface (override what the model needs, inherit the rest):
 
 from __future__ import annotations
 
+import time
 import warnings
 import zipfile
 from typing import Iterable, Iterator, Mapping
@@ -44,6 +45,15 @@ from typing import Iterable, Iterator, Mapping
 import numpy as np
 
 from ..nn.module import Module
+from ..obs.metrics import global_registry
+from ..obs.profiling import obs_enabled
+from ..obs.trace import (
+    TraceContext,
+    get_recorder,
+    mint_span_id,
+    mint_trace_id,
+    record_span,
+)
 from ..optim import Optimizer, clip_grad_norm
 from .callbacks import EarlyStopping, History
 
@@ -172,15 +182,97 @@ class Trainer:
         self.schedulers = list(schedulers) if schedulers is not None else []
         self.store = store
         self.history = History()
+        #: Per-epoch/per-phase timing profile of the most recent
+        #: :meth:`fit` (``REPRO_OBS=1`` only; ``None`` otherwise).
+        self.profile: dict | None = None
 
     def fit(self) -> History:
-        """Run the training loop; returns the recorded :class:`History`."""
+        """Run the training loop; returns the recorded :class:`History`.
+
+        With observability on (``REPRO_OBS=1``) the loop additionally
+        times every epoch's phases (``epoch_start`` / ``run_epoch`` /
+        ``validate``), publishes per-epoch durations to the global
+        ``repro_train_epoch_seconds`` histogram, records ``train.*``
+        spans under a fresh trace, and leaves the collected numbers on
+        :attr:`profile`.  Profiling reads clocks only — the hook order
+        and every RNG draw are identical with it on or off.
+        """
+        if not obs_enabled():
+            self.profile = None
+            return self._fit_loop(None, None)
+        profile = {"epochs": [], "phase_seconds": {
+            "epoch_start": 0.0, "run_epoch": 0.0, "validate": 0.0,
+        }}
+        # The root span's id is pre-minted so per-epoch spans recorded
+        # during the loop can already parent under it; the root itself
+        # is recorded once its duration is known.
+        root = TraceContext(mint_trace_id(), mint_span_id())
+        fit_began = time.monotonic()
+        try:
+            return self._fit_loop(profile, root)
+        finally:
+            fit_ended = time.monotonic()
+            get_recorder().record({
+                "trace": root.trace_id,
+                "span": root.span_id,
+                "parent": None,
+                "name": "train.fit",
+                "start": fit_began,
+                "dur": fit_ended - fit_began,
+                "wall": time.time(),
+                "attrs": {
+                    "program": type(self.program).__name__,
+                    "epochs": len(profile["epochs"]),
+                },
+            })
+            profile["total_seconds"] = fit_ended - fit_began
+            profile["trace_id"] = root.trace_id
+            self.profile = profile
+
+    def _fit_loop(
+        self, profile: dict | None, root: TraceContext | None
+    ) -> History:
         program = self.program
+        epoch_hist = (
+            global_registry().histogram(
+                "repro_train_epoch_seconds",
+                "Wall-clock seconds per training epoch (REPRO_OBS=1)",
+            ).labels()
+            if profile is not None
+            else None
+        )
         for epoch in range(self.max_epochs):
-            program.on_epoch_start(epoch, self.rng)
-            program.set_train_mode(True)
-            train_loss = program.run_epoch(epoch, self.rng)
-            score = program.validation_score(epoch)
+            if profile is None:
+                program.on_epoch_start(epoch, self.rng)
+                program.set_train_mode(True)
+                train_loss = program.run_epoch(epoch, self.rng)
+                score = program.validation_score(epoch)
+            else:
+                t0 = time.monotonic()
+                program.on_epoch_start(epoch, self.rng)
+                program.set_train_mode(True)
+                t1 = time.monotonic()
+                train_loss = program.run_epoch(epoch, self.rng)
+                t2 = time.monotonic()
+                score = program.validation_score(epoch)
+                t3 = time.monotonic()
+                timings = {
+                    "epoch": epoch,
+                    "epoch_start": t1 - t0,
+                    "run_epoch": t2 - t1,
+                    "validate": t3 - t2,
+                    "total": t3 - t0,
+                }
+                profile["epochs"].append(timings)
+                for phase in ("epoch_start", "run_epoch", "validate"):
+                    profile["phase_seconds"][phase] += timings[phase]
+                epoch_hist.observe(timings["total"])
+                epoch_ctx = record_span(
+                    "train.epoch", root, t0, t3, epoch=epoch
+                )
+                record_span("train.epoch_start", epoch_ctx, t0, t1)
+                record_span("train.run_epoch", epoch_ctx, t1, t2)
+                record_span("train.validate", epoch_ctx, t2, t3)
             self.history.record(train_loss, score)
             for scheduler in self.schedulers:
                 scheduler.step()

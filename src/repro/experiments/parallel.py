@@ -57,6 +57,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import global_registry
+
 __all__ = [
     "JOBS_ENV",
     "CellFailure",
@@ -436,6 +438,21 @@ def execute_matrix(
         failures.sort(key=lambda f: (f.model_name, f.split_index, f.seed))
         raise SweepCellError(failures, completed)
 
+    # Per-cell sweep metrics land in the process-global registry (the
+    # sweep runs in the parent; worker timings arrive with the merged
+    # outcomes) so a sweep's cost profile is scrapeable alongside
+    # serving metrics.
+    registry = global_registry()
+    cell_hist = registry.histogram(
+        "repro_sweep_cell_seconds",
+        "Wall-clock seconds per completed sweep cell",
+        ("model",),
+    )
+    cells_total = registry.counter(
+        "repro_sweep_cells_total",
+        "Sweep cells merged, by outcome",
+        ("model", "status"),
+    )
     out: dict[str, dict] = {}
     index = 0
     for model_name in model_names:
@@ -451,6 +468,13 @@ def execute_matrix(
                     "attempts": state.attempts,
                     "schedule_rank": state.rank,
                 }
+                cell_hist.labels(model=model_name).observe(
+                    float(state.outcome["seconds"])
+                )
+                cells_total.labels(
+                    model=model_name,
+                    status="retried" if state.attempts > 1 else "ok",
+                ).inc()
                 results.append(result)
                 index += 1
         out[model_name] = {

@@ -1,0 +1,152 @@
+"""``python -m repro.obs report`` — text flame summary over trace JSONL.
+
+Reads span records (one JSON object per line, the ``GET /v1/traces``
+format) from a file, an HTTP(S) URL, or stdin (``-``), groups them by
+trace id, and prints:
+
+* per trace: an indentation tree of spans (parent → children, ordered
+  by start time) with durations in milliseconds and key attributes;
+* an aggregate table: per span name, count / total / mean / max.
+
+Run::
+
+    python -m repro.obs report traces.jsonl
+    python -m repro.obs report http://127.0.0.1:8080/v1/traces
+    curl -s :8080/v1/traces | python -m repro.obs report -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+
+def load_spans(source: str) -> list[dict]:
+    """Span records from a path, URL, or ``-`` (stdin)."""
+    if source == "-":
+        text = sys.stdin.read()
+    elif source.startswith(("http://", "https://")):
+        with urllib.request.urlopen(source, timeout=30.0) as response:
+            text = response.read().decode("utf-8")
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    spans = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"line {line_number} is not JSON: {error}")
+        if not isinstance(record, dict) or "trace" not in record:
+            raise SystemExit(f"line {line_number} is not a span record")
+        spans.append(record)
+    return spans
+
+
+def _tree_lines(spans: list[dict]) -> list[str]:
+    """One trace's spans as an indentation tree ordered by start time."""
+    by_parent: dict[str | None, list[dict]] = {}
+    span_ids = {record.get("span") for record in spans}
+    for record in spans:
+        parent = record.get("parent")
+        # A parent outside the buffer (evicted or recorded elsewhere)
+        # makes this span a root for display purposes.
+        if parent not in span_ids:
+            parent = None
+        by_parent.setdefault(parent, []).append(record)
+    for children in by_parent.values():
+        children.sort(key=lambda record: record.get("start", 0.0))
+    lines: list[str] = []
+
+    def walk(parent: str | None, depth: int) -> None:
+        for record in by_parent.get(parent, ()):
+            duration_ms = 1e3 * float(record.get("dur", 0.0))
+            attrs = record.get("attrs") or {}
+            detail = " ".join(f"{key}={value}" for key, value in attrs.items())
+            lines.append(
+                f"  {'  ' * depth}{record.get('name', '?'):<28s}"
+                f"{duration_ms:10.3f} ms" + (f"   {detail}" if detail else "")
+            )
+            walk(record.get("span"), depth + 1)
+
+    walk(None, 0)
+    return lines
+
+
+def report(spans: list[dict], *, max_traces: int = 20,
+           stream=None) -> None:
+    """Print the flame summary for ``spans``."""
+    stream = stream if stream is not None else sys.stdout
+    traces: dict[str, list[dict]] = {}
+    for record in spans:
+        traces.setdefault(record["trace"], []).append(record)
+    print(f"{len(spans)} span(s) across {len(traces)} trace(s)", file=stream)
+    for index, (trace_id, members) in enumerate(traces.items()):
+        if index >= max_traces:
+            print(f"... {len(traces) - max_traces} more trace(s) omitted "
+                  f"(--max-traces)", file=stream)
+            break
+        total_ms = 1e3 * sum(
+            float(r.get("dur", 0.0)) for r in members
+            if r.get("parent") is None
+        ) or 1e3 * max((float(r.get("dur", 0.0)) for r in members), default=0.0)
+        print(f"\ntrace {trace_id}  ({len(members)} span(s), "
+              f"root {total_ms:.3f} ms)", file=stream)
+        for line in _tree_lines(members):
+            print(line, file=stream)
+    # Aggregate per span name.
+    by_name: dict[str, list[float]] = {}
+    for record in spans:
+        by_name.setdefault(record.get("name", "?"), []).append(
+            float(record.get("dur", 0.0))
+        )
+    if by_name:
+        print("\nby span name:", file=stream)
+        print(f"  {'name':<28s}{'count':>7s}{'total ms':>12s}"
+              f"{'mean ms':>10s}{'max ms':>10s}", file=stream)
+        for name in sorted(by_name, key=lambda n: -sum(by_name[n])):
+            durations = by_name[name]
+            total = sum(durations)
+            print(
+                f"  {name:<28s}{len(durations):>7d}{1e3 * total:>12.3f}"
+                f"{1e3 * total / len(durations):>10.3f}"
+                f"{1e3 * max(durations):>10.3f}",
+                file=stream,
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability utilities (trace flame summaries).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report_parser = sub.add_parser(
+        "report", help="text flame summary over trace JSONL"
+    )
+    report_parser.add_argument(
+        "source",
+        help="JSONL path, /v1/traces URL, or '-' for stdin",
+    )
+    report_parser.add_argument(
+        "--trace", default=None, help="only this trace id"
+    )
+    report_parser.add_argument(
+        "--max-traces", type=int, default=20,
+        help="trace trees printed before truncating (default 20)",
+    )
+    args = parser.parse_args(argv)
+    spans = load_spans(args.source)
+    if args.trace is not None:
+        spans = [record for record in spans if record["trace"] == args.trace]
+    report(spans, max_traces=args.max_traces)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,281 @@
+"""Span-based request tracing with a ring-buffer recorder.
+
+One traced request produces a **trace**: a set of spans sharing a trace
+id, each span naming one stage (``client.request`` → ``server.request``
+→ ``scheduler.queue_wait`` / ``scheduler.batch_dispatch`` →
+``service.cache_lookup`` / ``service.predict`` → ``store.get`` /
+``store.put``) with monotonic start/duration and free-form attributes.
+The trace id is minted client-side (:func:`mint_trace_id`), carried in
+the wire codec's control header, and threaded through the scheduler on
+each request; deep layers (the artifact store) pick the ambient context
+up from a thread-local instead of growing ``trace`` parameters
+(:func:`use_trace` / :func:`current_trace`).
+
+Spans land in a process-wide :class:`TraceRecorder` — a bounded deque,
+so a long-lived server keeps the most recent ``maxlen`` spans and
+nothing grows without bound.  The recorder starts **disabled** unless
+``REPRO_OBS=1`` (see :func:`repro.obs.profiling.obs_enabled`); while
+disabled, :meth:`TraceRecorder.record` is a no-op and span helpers
+short-circuit, so untraced serving pays one predicate per request.
+
+Export: ``GET /v1/traces`` streams the buffer as JSONL (one span per
+line); ``python -m repro.obs report`` renders a text flame summary.
+Span records are plain dicts::
+
+    {"trace": "9f2c...", "span": "51ab...", "parent": "de01..." | None,
+     "name": "service.predict", "start": <monotonic>, "dur": <seconds>,
+     "wall": <time.time() at record>, "attrs": {...}}
+
+Tracing observes timings and counts only — it never touches model
+bytes, so the serving stack's bitwise-parity contracts hold with
+tracing on or off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Iterator
+
+__all__ = [
+    "TraceContext",
+    "TraceRecorder",
+    "current_trace",
+    "get_recorder",
+    "mint_span_id",
+    "mint_trace_id",
+    "record_span",
+    "span",
+    "use_trace",
+]
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace id (64 random bits)."""
+    return os.urandom(8).hex()
+
+
+def mint_span_id() -> str:
+    """A fresh 8-hex-char span id (32 random bits)."""
+    return os.urandom(4).hex()
+
+
+class TraceContext:
+    """Position inside a trace: the trace id plus the enclosing span id.
+
+    Child spans created under this context use ``span_id`` as their
+    parent.  Contexts are cheap, immutable value objects.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str | None = None) -> None:
+        self.trace_id = str(trace_id)
+        self.span_id = str(span_id) if span_id is not None else None
+
+    def child(self, span_id: str) -> "TraceContext":
+        return TraceContext(self.trace_id, span_id)
+
+    def __repr__(self) -> str:
+        return f"TraceContext(trace_id={self.trace_id!r}, span_id={self.span_id!r})"
+
+
+class TraceRecorder:
+    """Bounded, thread-safe span sink.
+
+    ``maxlen`` bounds retained spans (oldest dropped first);
+    ``dropped`` counts evictions so an exporter can tell a quiet system
+    from an overflowing one.  ``enabled`` gates :meth:`record` — a
+    disabled recorder is free.
+    """
+
+    def __init__(self, maxlen: int = 20_000, enabled: bool = False) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._spans: deque[dict] = deque(maxlen=maxlen)
+        self.dropped = 0
+        self.recorded = 0
+
+    def enable(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+
+    def record(self, span_record: dict) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            if len(self._spans) == self.maxlen:
+                self.dropped += 1
+            self._spans.append(span_record)
+            self.recorded += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+            self.recorded = 0
+
+    def spans(self, trace_id: str | None = None) -> list[dict]:
+        """Retained spans, optionally filtered to one trace."""
+        with self._lock:
+            snapshot = list(self._spans)
+        if trace_id is None:
+            return snapshot
+        return [s for s in snapshot if s["trace"] == trace_id]
+
+    def traces(self) -> dict[str, list[dict]]:
+        """Retained spans grouped by trace id (insertion order kept)."""
+        grouped: dict[str, list[dict]] = {}
+        for record in self.spans():
+            grouped.setdefault(record["trace"], []).append(record)
+        return grouped
+
+    def to_jsonl(self, trace_id: str | None = None) -> str:
+        """The buffer as JSONL — the ``GET /v1/traces`` body."""
+        return "".join(
+            json.dumps(record, separators=(",", ":")) + "\n"
+            for record in self.spans(trace_id)
+        )
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "retained": len(self._spans),
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "maxlen": self.maxlen,
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-wide recorder + ambient (thread-local) trace context
+# ----------------------------------------------------------------------
+_RECORDER: TraceRecorder | None = None
+_RECORDER_LOCK = threading.Lock()
+_TLS = threading.local()
+
+
+def get_recorder() -> TraceRecorder:
+    """The process-wide recorder (created on first use).
+
+    Starts enabled iff ``REPRO_OBS`` is truthy at creation; flip at any
+    time with :meth:`TraceRecorder.enable`.
+    """
+    global _RECORDER
+    recorder = _RECORDER
+    if recorder is None:
+        with _RECORDER_LOCK:
+            if _RECORDER is None:
+                from .profiling import obs_enabled  # local: avoid cycle at import
+
+                _RECORDER = TraceRecorder(enabled=obs_enabled())
+            recorder = _RECORDER
+    return recorder
+
+
+def current_trace() -> TraceContext | None:
+    """The ambient trace context on this thread, if any."""
+    return getattr(_TLS, "ctx", None)
+
+
+@contextlib.contextmanager
+def use_trace(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Scope ``ctx`` as this thread's ambient trace context.
+
+    Deep layers (the store) record spans against whatever context is
+    ambient, so callers that batch work for several traces should scope
+    the one they attribute shared work to.  ``None`` is a no-op scope.
+    """
+    previous = getattr(_TLS, "ctx", None)
+    _TLS.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _TLS.ctx = previous
+
+
+def record_span(
+    name: str,
+    ctx: TraceContext,
+    start_monotonic: float,
+    end_monotonic: float,
+    recorder: TraceRecorder | None = None,
+    **attrs,
+) -> TraceContext:
+    """Record one completed span under ``ctx``; returns the span's own context.
+
+    The low-level entry point for call sites that measured their own
+    interval (the scheduler records queue-wait from a timestamp taken
+    on the submitting thread).  The returned context can parent
+    children recorded afterwards.
+    """
+    recorder = recorder if recorder is not None else get_recorder()
+    span_id = mint_span_id()
+    recorder.record({
+        "trace": ctx.trace_id,
+        "span": span_id,
+        "parent": ctx.span_id,
+        "name": name,
+        "start": start_monotonic,
+        "dur": max(0.0, end_monotonic - start_monotonic),
+        "wall": time.time(),
+        "attrs": attrs,
+    })
+    return ctx.child(span_id)
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    ctx: TraceContext | None = None,
+    recorder: TraceRecorder | None = None,
+    **attrs,
+) -> Iterator[TraceContext | None]:
+    """Time a block as one span; nests via the ambient context.
+
+    With no explicit ``ctx`` the ambient thread-local context is used;
+    if there is none (or the recorder is disabled) the block runs
+    untraced at the cost of two predicate checks.  Inside the block the
+    ambient context points at the new span, so nested ``span()`` calls
+    and store lookups parent correctly.
+    """
+    recorder = recorder if recorder is not None else get_recorder()
+    if ctx is None:
+        ctx = current_trace()
+    if ctx is None or not recorder.enabled:
+        yield None
+        return
+    span_id = mint_span_id()
+    child = ctx.child(span_id)
+    start = time.monotonic()
+    error: str | None = None
+    previous = getattr(_TLS, "ctx", None)
+    _TLS.ctx = child
+    try:
+        yield child
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        _TLS.ctx = previous
+        end = time.monotonic()
+        if error is not None:
+            attrs = {**attrs, "error": error}
+        recorder.record({
+            "trace": ctx.trace_id,
+            "span": span_id,
+            "parent": ctx.span_id,
+            "name": name,
+            "start": start,
+            "dur": end - start,
+            "wall": time.time(),
+            "attrs": attrs,
+        })

@@ -28,6 +28,8 @@ import time
 import numpy as np
 
 from ..interfaces import Forecaster
+from ..obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..obs.trace import TraceContext
 from .errors import InvalidRequest, ModelNotFound, ServingError
 from .scheduler import AsyncForecast, MicroBatchScheduler
 from .service import ForecastService
@@ -88,6 +90,20 @@ class ServingRuntime:
         # refit-lag stats) contribute their own top-level sections.
         self._store = None
         self._stats_sources: dict[str, object] = {}
+        # Per-runtime metrics registry: hand-rolled scheduler/service/
+        # store counters publish through a scrape-time collector (zero
+        # hot-path cost); per-model latency histograms are real
+        # registry instruments the schedulers record into.  Rendered by
+        # the HTTP server's GET /metrics and embedded as the `metrics`
+        # section of stats().
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector("runtime", self._metric_samples)
+        self._latency_family = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end scheduler latency per served request",
+            ("model",),
+            buckets=LATENCY_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # Registration and lookup
@@ -137,7 +153,16 @@ class ServingRuntime:
                 # per-model override should reach (and fail) the
                 # scheduler's incompatibility check.
                 settings.pop("cache_size", None)
-            scheduler = MicroBatchScheduler(forecaster, name=f"serve[{key}]", **settings)
+            # The latency histogram child is keyed by model, not by
+            # scheduler instance: a blue/green swap's replacement
+            # scheduler records into the same child, so histogram
+            # counts stay monotone across swaps (Prometheus semantics).
+            scheduler = MicroBatchScheduler(
+                forecaster,
+                name=f"serve[{key}]",
+                latency_histogram=self._latency_family.labels(model=key),
+                **settings,
+            )
             # The atomic swap: from here on submit() routes to the new
             # scheduler.  The old one still owes every request it
             # accepted; it is drained below, outside the lock, so the
@@ -192,8 +217,14 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
-    def submit(self, key: str, start: int) -> AsyncForecast:
+    def submit(
+        self, key: str, start: int, trace: TraceContext | None = None
+    ) -> AsyncForecast:
         """Route one window-start request to the model hosted as ``key``.
+
+        ``trace`` (optional) is the request's trace context; the
+        scheduler records queue-wait/dispatch/cache/predict spans
+        under it when set.
 
         Swap-safe: a submit that races a ``register(..., replace=True)``
         and reaches the outgoing scheduler after its intake closed is
@@ -204,7 +235,7 @@ class ServingRuntime:
         while True:
             scheduler = self.scheduler(key)
             try:
-                return scheduler.submit(start)
+                return scheduler.submit(start, trace=trace)
             except RuntimeError as error:
                 if isinstance(error, ServingError):
                     raise  # QueueFull etc. — admission policy, not a swap
@@ -305,9 +336,9 @@ class ServingRuntime:
         ``provider()`` is invoked on every full ``stats()`` read; the
         streaming bridge uses this to publish refit-lag and swap
         telemetry.  Reserved section names (``models``, ``totals``,
-        ``store``, ``swaps``) are rejected.
+        ``store``, ``swaps``, ``metrics``) are rejected.
         """
-        if name in ("models", "totals", "store", "swaps"):
+        if name in ("models", "totals", "store", "swaps", "metrics"):
             raise ValueError(f"stats section name {name!r} is reserved")
         with self._lock:
             self._stats_sources[name] = provider
@@ -373,10 +404,73 @@ class ServingRuntime:
                     "history": [dict(r) for r in self._swap_history],
                 }
         if store is not None:
-            result["store"] = store.stats
+            # A wedged store (corrupt manifest, dead disk) must degrade
+            # to an error stanza, not take /v1/stats down with it.
+            try:
+                result["store"] = store.stats
+            except Exception as error:  # noqa: BLE001 — stats must not 500
+                result["store"] = {"error": f"{type(error).__name__}: {error}"}
         for name, provider in sources.items():
             try:
                 result[name] = provider()
             except Exception as error:  # noqa: BLE001 — stats must not 500
                 result[name] = {"error": f"{type(error).__name__}: {error}"}
+        result["metrics"] = self.metrics.as_dict()
         return result
+
+    def _metric_samples(self):
+        """Scrape-time samples for the ``runtime`` collector.
+
+        Reads the live schedulers' counter snapshots (and the attached
+        store's, if any) directly — never through :meth:`stats`, which
+        itself embeds this registry's output (recursion hazard).
+        Retired-scheduler counters fold in so totals stay monotone
+        across blue/green swaps.
+        """
+        with self._lock:
+            per_model = {k: s.stats for k, s in self._schedulers.items()}
+            retired = {k: dict(r) for k, r in self._retired.items()}
+            swap_counts = dict(self._swap_counts)
+            store = self._store
+        counter_names = {
+            "submitted": "repro_requests_submitted_total",
+            "completed": "repro_requests_completed_total",
+            "rejected": "repro_requests_rejected_total",
+            "failed": "repro_requests_failed_total",
+            "batches": "repro_batches_total",
+            "fast_hits": "repro_fast_hits_total",
+        }
+        service_names = {
+            "cache_hits": "repro_cache_hits_total",
+            "windows_computed": "repro_windows_computed_total",
+            "coalesced": "repro_coalesced_total",
+            "predict_calls": "repro_predict_calls_total",
+            "predict_seconds": "repro_predict_seconds_total",
+        }
+        for key, snap in per_model.items():
+            folded = retired.get(key, {})
+            for field, name in counter_names.items():
+                yield (name, {"model": key},
+                       snap[field] + folded.get(field, 0))
+            yield ("repro_queue_depth", {"model": key}, snap["queue_depth"])
+            service = snap.get("service") or {}
+            for field, name in service_names.items():
+                if field in service:
+                    yield (name, {"model": key}, service[field])
+        for key, count in swap_counts.items():
+            yield ("repro_swaps_total", {"model": key}, count)
+        if store is not None:
+            try:
+                namespaces = store.stats.get("namespaces", {})
+            except Exception:  # noqa: BLE001 — scrape must not fail
+                namespaces = {}
+            for namespace, ns in namespaces.items():
+                labels = {"namespace": namespace}
+                yield ("repro_store_hits_total", labels, ns.get("hits", 0))
+                yield ("repro_store_disk_hits_total", labels,
+                       ns.get("disk_hits", 0))
+                yield ("repro_store_misses_total", labels, ns.get("misses", 0))
+                yield ("repro_store_memory_bytes", labels,
+                       ns.get("memory_bytes", 0))
+                yield ("repro_store_disk_bytes", labels,
+                       ns.get("disk_bytes", 0))

@@ -40,8 +40,9 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..interfaces import Forecaster
+from ..obs.metrics import LATENCY_BUCKETS, Histogram
+from ..obs.trace import TraceContext, record_span, use_trace
 from .errors import InvalidRequest, QueueFull
-from .loadgen import latency_summary
 from .service import ForecastService
 
 __all__ = ["AsyncForecast", "LatencyRecorder", "MicroBatchScheduler", "QueueFull"]
@@ -66,48 +67,72 @@ class AsyncForecast:
 
 
 class LatencyRecorder:
-    """Bounded sample of request latencies with percentile readout.
+    """Fixed-bucket latency histogram with percentile readout.
 
-    Keeps the most recent ``maxlen`` samples (``deque(maxlen)``) so
-    unbounded load runs cannot grow memory without bound; percentiles
-    are computed on read.  Appends come from the scheduler worker thread
-    and, when the cache-hit fast path is on, from submitter threads too
-    — a small internal lock keeps the count exact.  A read concurrent
-    with traffic sees a slightly stale sample, which telemetry tolerates
-    (benchmarks read after ``drain()``).
+    Built on the shared :class:`~repro.obs.metrics.Histogram` type
+    (bucket bounds: :data:`~repro.obs.metrics.LATENCY_BUCKETS` —
+    exponential 100 µs → 10 s, +inf overflow), so every recorded
+    latency costs O(1) memory and the recorder never grows with load.
+    ``count``/``mean``/``max`` are exact; p50/p95/p99 are estimated by
+    linear interpolation inside the bucket holding the quantile rank —
+    resolution is one bucket width, monotone by construction
+    (p50 <= p95 <= p99 always).  Appends come from the scheduler worker
+    thread and, when the cache-hit fast path is on, from submitter
+    threads too; the histogram child's internal lock keeps counts
+    exact.
+
+    The ``histogram`` parameter lets a caller aim recordings at a
+    registry-owned family child (the runtime labels one per model so
+    ``GET /metrics`` exposes real latency buckets); by default the
+    recorder owns a private anonymous histogram.
     """
 
-    def __init__(self, maxlen: int = 200_000) -> None:
-        if maxlen < 1:
-            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
-        self.maxlen = maxlen
-        self.count = 0
-        self._ring: deque[float] = deque(maxlen=maxlen)
-        self._lock = threading.Lock()
+    def __init__(self, histogram=None) -> None:
+        self._hist = (
+            histogram
+            if histogram is not None
+            else Histogram(
+                "request_latency_seconds", "", buckets=LATENCY_BUCKETS
+            ).labels()
+        )
+
+    @property
+    def count(self) -> int:
+        return self._hist.count
+
+    @property
+    def histogram(self):
+        """The underlying histogram child (bucket exposition hooks)."""
+        return self._hist
 
     def record(self, seconds: float) -> None:
-        with self._lock:
-            self._ring.append(seconds)
-            self.count += 1
+        self._hist.observe(seconds)
 
     def summary(self) -> dict:
-        """Latency percentiles in milliseconds over the retained sample."""
-        with self._lock:
-            sample = list(self._ring)
-            count = self.count
-        summary = latency_summary(sample)
-        # Total recorded, not just retained in the ring.
-        summary["count"] = count
-        return summary
+        """Latency percentiles in milliseconds (the shared summary shape)."""
+        stats = self._hist.summary()
+        if stats["count"] == 0:
+            return {"count": 0, "p50_ms": None, "p95_ms": None, "p99_ms": None,
+                    "mean_ms": None, "max_ms": None}
+        return {
+            "count": stats["count"],
+            "p50_ms": 1e3 * stats["p50"],
+            "p95_ms": 1e3 * stats["p95"],
+            "p99_ms": 1e3 * stats["p99"],
+            "mean_ms": 1e3 * stats["mean"],
+            "max_ms": 1e3 * stats["max"],
+        }
 
 
 class _Request:
-    __slots__ = ("start", "future", "enqueued_at")
+    __slots__ = ("start", "future", "enqueued_at", "trace")
 
-    def __init__(self, start: int, future: Future, enqueued_at: float) -> None:
+    def __init__(self, start: int, future: Future, enqueued_at: float,
+                 trace: TraceContext | None = None) -> None:
         self.start = start
         self.future = future
         self.enqueued_at = enqueued_at
+        self.trace = trace
 
 
 class MicroBatchScheduler:
@@ -169,6 +194,7 @@ class MicroBatchScheduler:
         log_batches: bool = False,
         cache_fast_path: bool = False,
         name: str = "scheduler",
+        latency_histogram=None,
     ) -> None:
         if deadline_ms < 0:
             raise ValueError(f"deadline_ms must be >= 0, got {deadline_ms}")
@@ -217,7 +243,9 @@ class MicroBatchScheduler:
         self.fast_hits = 0
         self.peak_queue_depth = 0
         self.max_batch_observed = 0
-        self.latency = LatencyRecorder()
+        # latency_histogram: optionally a registry-owned histogram child
+        # (the runtime labels one per model for /metrics exposition).
+        self.latency = LatencyRecorder(histogram=latency_histogram)
         self._first_submit_at: float | None = None
         self._last_complete_at: float | None = None
 
@@ -229,16 +257,22 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, start: int) -> AsyncForecast:
+    def submit(self, start: int,
+               trace: TraceContext | None = None) -> AsyncForecast:
         """Enqueue one window-start request from any thread.
 
         With :attr:`cache_fast_path` on, a request whose window is
         already in the result cache is answered on this thread with a
         pre-resolved handle — it never touches the queue, so it cannot
         be rejected, shed, or delayed behind a forming micro-batch.
+
+        ``trace`` threads a request's trace context through the worker:
+        the dispatch records queue-wait / batch-dispatch / cache-lookup
+        / predict child spans against it (see :mod:`repro.obs.trace`).
         """
         start = int(start)
         if self.cache_fast_path:
+            lookup_began = time.monotonic() if trace is not None else 0.0
             value = self.service.cached_block(start)
             if value is not None:
                 fast: Future = Future()
@@ -253,6 +287,12 @@ class MicroBatchScheduler:
                         self._first_submit_at = time.monotonic()
                     self._last_complete_at = time.monotonic()
                 self.latency.record(0.0)
+                if trace is not None:
+                    record_span(
+                        "scheduler.cache_fast_path", trace,
+                        lookup_began, time.monotonic(),
+                        model=self.name, start=start,
+                    )
                 return AsyncForecast(start, fast)
         future: Future = Future()
         with self._cond:
@@ -271,7 +311,7 @@ class MicroBatchScheduler:
             now = time.monotonic()
             if self._first_submit_at is None:
                 self._first_submit_at = now
-            self._queue.append(_Request(start, future, now))
+            self._queue.append(_Request(start, future, now, trace))
             self.submitted += 1
             self._in_flight += 1
             if len(self._queue) > self.peak_queue_depth:
@@ -320,11 +360,41 @@ class MicroBatchScheduler:
 
     def _dispatch(self, batch: list[_Request]) -> None:
         served = 0
+        dispatch_began = time.monotonic()
+        traced = [req for req in batch if req.trace is not None]
+        for req in traced:
+            # Queue wait: measured from the submit-side enqueue stamp to
+            # the moment the worker picked the batch up.
+            record_span(
+                "scheduler.queue_wait", req.trace,
+                req.enqueued_at, dispatch_began,
+                model=self.name, start=req.start,
+            )
+        # Shared batch work (cache lookup, predict, result pickup) runs
+        # once for the whole batch; the store's ambient trace context
+        # follows the *first* traced request — a batch mixing several
+        # traces attributes shared store spans to that one (documented
+        # in DESIGN.md §15).
+        ambient = traced[0].trace if traced else None
         try:
-            handles = [(req, self.service.submit(req.start)) for req in batch]
-            self.service.flush()
-            results = [(req, handle.result()) for req, handle in handles]
+            with use_trace(ambient):
+                lookup_began = time.monotonic()
+                handles = [(req, self.service.submit(req.start)) for req in batch]
+                lookup_ended = time.monotonic()
+                self.service.flush()
+                predict_ended = time.monotonic()
+                results = [(req, handle.result()) for req, handle in handles]
             now = time.monotonic()
+            for req in traced:
+                parent = record_span(
+                    "scheduler.batch_dispatch", req.trace,
+                    dispatch_began, now,
+                    model=self.name, batch_size=len(batch),
+                )
+                record_span("service.cache_lookup", parent,
+                            lookup_began, lookup_ended, batch_size=len(batch))
+                record_span("service.predict", parent,
+                            lookup_ended, predict_ended, batch_size=len(batch))
             for req, value in results:
                 self.latency.record(now - req.enqueued_at)
                 req.future.set_result(value)

@@ -31,6 +31,7 @@ from urllib.parse import quote
 
 import numpy as np
 
+from ...obs.trace import get_recorder, mint_span_id, mint_trace_id
 from ..errors import ServingError
 from . import codec
 
@@ -56,6 +57,13 @@ class ForecastClient:
     backoff_s:
         Sleep between retry attempts, growing linearly (``backoff_s *
         attempt``) so a draining queue gets room to clear.
+    trace:
+        ``True`` mints a trace id per forecast call and sends it in the
+        wire frame's control header; ``False`` never traces; ``None``
+        (default) follows the process trace recorder's enabled flag
+        (``REPRO_OBS=1``).  The id of the most recent traced call is
+        kept on :attr:`last_trace_id` for correlation against the
+        server's ``GET /v1/traces`` export.
     """
 
     def __init__(
@@ -66,6 +74,7 @@ class ForecastClient:
         timeout: float = 30.0,
         retries: int = 3,
         backoff_s: float = 0.05,
+        trace: bool | None = None,
     ) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -74,7 +83,20 @@ class ForecastClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.trace = trace
+        #: Trace id of the most recent traced forecast call (or None).
+        self.last_trace_id: str | None = None
         self._conn: http.client.HTTPConnection | None = None
+
+    def _mint_trace(self) -> dict | None:
+        """Wire trace header for one forecast call, or ``None``."""
+        enabled = (
+            get_recorder().enabled if self.trace is None else self.trace
+        )
+        if not enabled:
+            return None
+        self.last_trace_id = mint_trace_id()
+        return {"id": self.last_trace_id, "span": mint_span_id()}
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -154,30 +176,63 @@ class ForecastClient:
             ) from last_error
         return status, payload  # the final retryable response
 
+    def _record_client_span(
+        self, trace: dict, model: str, starts: int, start_monotonic: float
+    ) -> None:
+        """The root ``client.request`` span, ids matching the wire header.
+
+        Recorded directly (not via ``record_span``) because the span id
+        must be the one already sent on the wire, so the server's
+        ``server.request`` span nests under it.
+        """
+        get_recorder().record({
+            "trace": trace["id"],
+            "span": trace["span"],
+            "parent": None,
+            "name": "client.request",
+            "start": start_monotonic,
+            "dur": time.monotonic() - start_monotonic,
+            "wall": time.time(),
+            "attrs": {"model": model, "starts": starts},
+        })
+
     # ------------------------------------------------------------------
     # Forecast API
     # ------------------------------------------------------------------
     def forecast_one(self, model: str, start: int) -> np.ndarray:
         """One window start -> its ``(horizon, N_u)`` forecast block."""
+        trace = self._mint_trace()
+        began = time.monotonic()
         status, payload = self._request(
             "POST",
             f"/v1/forecast/{quote(str(model), safe='/')}",
-            body=codec.encode_request([start]),
+            body=codec.encode_request([start], trace=trace),
             content_type=codec.CONTENT_TYPE,
         )
         del status  # error frames carry their own identity
-        return codec.decode_array(payload)
+        result = codec.decode_array(payload)
+        if trace is not None:
+            self._record_client_span(trace, model, 1, began)
+        return result
 
     def forecast(self, model: str, window_starts) -> np.ndarray:
         """Many window starts -> stacked ``(k, horizon, N_u)`` forecasts."""
+        trace = self._mint_trace()
+        began = time.monotonic()
+        body = codec.encode_request(window_starts, trace=trace)
         status, payload = self._request(
             "POST",
             f"/v1/forecast_many/{quote(str(model), safe='/')}",
-            body=codec.encode_request(window_starts),
+            body=body,
             content_type=codec.CONTENT_TYPE,
         )
         del status
-        return codec.decode_array(payload)
+        result = codec.decode_array(payload)
+        if trace is not None:
+            self._record_client_span(
+                trace, model, int(np.asarray(window_starts).size), began
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Introspection API
@@ -207,6 +262,25 @@ class ForecastClient:
         if status != 200:
             raise ServingError(f"/v1/stats failed with status {status}: {payload}")
         return payload
+
+    def metrics_text(self) -> str:
+        """The worker's Prometheus exposition (``GET /metrics``)."""
+        status, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServingError(f"/metrics failed with status {status}")
+        return payload.decode("utf-8")
+
+    def traces(self, trace_id: str | None = None) -> list[dict]:
+        """Span records from the worker's ``GET /v1/traces`` JSONL export."""
+        path = "/v1/traces" + (f"?trace={quote(trace_id)}" if trace_id else "")
+        status, payload = self._request("GET", path)
+        if status != 200:
+            raise ServingError(f"/v1/traces failed with status {status}")
+        return [
+            json.loads(line)
+            for line in payload.decode("utf-8").splitlines()
+            if line.strip()
+        ]
 
     def batch_log(self, model: str) -> list[np.ndarray]:
         """Logged predict-batch compositions (parity certification)."""

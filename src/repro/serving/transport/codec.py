@@ -54,6 +54,7 @@ __all__ = [
     "decode_error",
     "decode_frame",
     "decode_request",
+    "decode_request_meta",
     "encode_array",
     "encode_error",
     "encode_frame",
@@ -165,10 +166,20 @@ def decode_array(body: bytes) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Forecast requests
 # ----------------------------------------------------------------------
-def encode_request(window_starts) -> bytes:
-    """Encode a forecast request for one or many window starts."""
+def encode_request(window_starts, *, trace: dict | None = None) -> bytes:
+    """Encode a forecast request for one or many window starts.
+
+    ``trace`` (optional) is a ``{"id": <hex>, "span": <hex>}`` trace
+    context; it rides as an additive header field, so traced and
+    untraced requests share the same codec version.
+    """
     starts = [int(s) for s in np.asarray(window_starts, dtype=int).ravel()]
-    return encode_frame({"kind": "forecast", "starts": starts})
+    header: dict = {"kind": "forecast", "starts": starts}
+    if trace is not None:
+        header["trace"] = {
+            "id": str(trace["id"]), "span": str(trace["span"])
+        }
+    return encode_frame(header)
 
 
 def decode_request(body: bytes) -> list[int]:
@@ -178,6 +189,18 @@ def decode_request(body: bytes) -> list[int]:
     :class:`~repro.serving.errors.InvalidRequest` for a well-formed
     frame asking something unservable (no starts, non-integers).
     """
+    starts, _trace = decode_request_meta(body)
+    return starts
+
+
+def decode_request_meta(body: bytes) -> tuple[list[int], dict | None]:
+    """Decode a ``forecast`` frame with its optional trace context.
+
+    Returns ``(starts, trace)`` where ``trace`` is the header's
+    ``{"id": ..., "span": ...}`` dict or ``None``.  A malformed trace
+    field is silently dropped — observability must never fail a
+    request that would otherwise serve.
+    """
     header, _payload = decode_frame(body)
     if header["kind"] != "forecast":
         raise CodecError(f"expected a forecast frame, got kind {header['kind']!r}")
@@ -186,7 +209,16 @@ def decode_request(body: bytes) -> list[int]:
         raise InvalidRequest("forecast request needs a non-empty 'starts' list")
     if not all(isinstance(s, int) and not isinstance(s, bool) for s in starts):
         raise InvalidRequest("window starts must be integers")
-    return starts
+    trace = header.get("trace")
+    if (
+        not isinstance(trace, dict)
+        or not isinstance(trace.get("id"), str)
+        or not isinstance(trace.get("span"), str)
+        or not trace["id"]
+        or not trace["span"]
+    ):
+        trace = None
+    return starts, trace
 
 
 # ----------------------------------------------------------------------

@@ -37,11 +37,14 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import unquote
+from urllib.parse import parse_qs, unquote
 
 import numpy as np
 
+from ...obs.metrics import global_registry, render_prometheus
+from ...obs.trace import TraceContext, get_recorder, mint_span_id
 from ..errors import InvalidRequest, ServingError
 from ..runtime import ServingRuntime
 from . import codec
@@ -148,6 +151,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "transport": app.counters.snapshot(),
                 "runtime": app.runtime.stats(),
             })
+        elif path == "/metrics":
+            body = render_prometheus(
+                app.runtime.metrics, global_registry()
+            ).encode("utf-8")
+            self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+        elif path == "/v1/traces":
+            query = parse_qs(self.path.partition("?")[2])
+            trace_id = (query.get("trace") or [None])[0]
+            body = get_recorder().to_jsonl(trace_id).encode("utf-8")
+            self._send(200, "application/x-ndjson", body)
         elif path.startswith("/v1/batch_log/"):
             self._batch_log(unquote(path[len("/v1/batch_log/"):]))
         else:
@@ -227,18 +240,46 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._read_body()
             if not app.ready:
                 raise _NotReady(f"worker {app.worker_label} is still warming up")
-            starts = codec.decode_request(body)
+            starts, wire_trace = codec.decode_request_meta(body)
             if single and len(starts) != 1:
                 raise InvalidRequest(
                     f"/v1/forecast takes exactly one window start (got "
                     f"{len(starts)}); use /v1/forecast_many for batches"
                 )
+            # The server span's id is pre-minted so scheduler/service
+            # spans recorded while the request is in flight can already
+            # parent under it; the span itself is recorded on the way
+            # out, once its duration is known.
+            recorder = get_recorder()
+            server_ctx = None
+            if wire_trace is not None and recorder.enabled:
+                server_ctx = TraceContext(
+                    wire_trace["id"], mint_span_id()
+                )
+                server_began = time.monotonic()
             # Submit all handles before awaiting any, so one wire request's
             # windows micro-batch together (and with concurrent requests).
-            handles = [app.runtime.submit(model, s) for s in starts]
+            handles = [
+                app.runtime.submit(model, s, trace=server_ctx) for s in starts
+            ]
             blocks = [h.result(app.result_timeout_s) for h in handles]
             values = blocks[0] if single else np.stack(blocks, axis=0)
             status, payload = 200, codec.encode_array(values)
+            if server_ctx is not None:
+                recorder.record({
+                    "trace": server_ctx.trace_id,
+                    "span": server_ctx.span_id,
+                    "parent": wire_trace["span"],
+                    "name": "server.request",
+                    "start": server_began,
+                    "dur": time.monotonic() - server_began,
+                    "wall": time.time(),
+                    "attrs": {
+                        "model": model,
+                        "starts": len(starts),
+                        "worker": app.worker_label,
+                    },
+                })
         except _BodyTooLarge as exc:
             status, payload = 413, codec.encode_error("body_too_large", str(exc))
         except _NotReady as exc:
@@ -259,6 +300,11 @@ class _NotReady(ServingError):
 
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
+    #: Listen backlog.  socketserver's default of 5 drops SYNs when a
+    #: high-fan-in client pool (load generators run 8-96 threads)
+    #: connects at once; each dropped SYN costs the client a ~1 s
+    #: kernel retransmit that dwarfs every request it then issues.
+    request_queue_size = 128
 
     def __init__(self, address, app: "ForecastHTTPServer", reuse_port: bool) -> None:
         self.app = app
@@ -306,11 +352,25 @@ class ForecastHTTPServer:
         # Shareable so a worker's public listener and its private
         # control listener report one combined transport view.
         self.counters = counters if counters is not None else _TransportCounters()
+        # Publish the transport counters on the runtime's /metrics
+        # scrape; keyed by worker label so a re-created server (or a
+        # second listener sharing the counters) replaces, not duplicates.
+        runtime.metrics.register_collector(
+            f"transport[{worker_label}]", self._transport_samples
+        )
         self._ready = threading.Event()
         self._server = _Server((host, port), self, reuse_port)
         self._thread: threading.Thread | None = None
         self._started = False
         self._closed = False
+
+    def _transport_samples(self):
+        snapshot = self.counters.snapshot()
+        labels = {"worker": self.worker_label}
+        yield ("repro_transport_requests_total", labels, snapshot["requests"])
+        yield ("repro_transport_errors_total", labels, snapshot["errors"])
+        yield ("repro_transport_bytes_in_total", labels, snapshot["bytes_in"])
+        yield ("repro_transport_bytes_out_total", labels, snapshot["bytes_out"])
 
     # ------------------------------------------------------------------
     @property

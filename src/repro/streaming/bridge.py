@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs.trace import TraceContext, record_span
 from ..serving.runtime import ServingRuntime
 from ..serving.service import ForecastService
 from .refit import RefitRecord
@@ -88,6 +89,7 @@ class LiveSwapBridge:
         if store is not None:
             runtime.attach_store(store)
         runtime.add_stats_source("streaming", self.stats)
+        runtime.metrics.register_collector("streaming", self._metric_samples)
 
     def build_service(self, forecaster) -> ForecastService:
         """Wrap a fitted forecaster the way :meth:`deploy` serves it."""
@@ -120,6 +122,19 @@ class LiveSwapBridge:
             **self.register_options,
         )
         live_at = time.monotonic()
+        # Close the refit trace: the swap span parents under the refit
+        # root whose ids the scheduler left on the record.
+        if record is not None and "trace_span" in record.extra:
+            record_span(
+                "refit.swap",
+                TraceContext(
+                    record.extra["trace_id"], record.extra["trace_span"]
+                ),
+                swap_started,
+                live_at,
+                model=self.key,
+                deploy=len(self.deploys),
+            )
         self.service = service
         entry = {
             "deploy": len(self.deploys),
@@ -163,3 +178,18 @@ class LiveSwapBridge:
                 "max_seconds": max(lags),
             }
         return section
+
+    def _metric_samples(self):
+        """Scrape-time samples for the runtime's ``streaming`` collector."""
+        deploys = list(self.deploys)
+        labels = {"model": self.key}
+        yield ("repro_stream_deploys_total", labels, len(deploys))
+        yield ("repro_stream_swaps_total", labels,
+               sum(1 for d in deploys if d["swap"]))
+        lags = [
+            d["refit_lag_seconds"] for d in deploys
+            if "refit_lag_seconds" in d
+        ]
+        if lags:
+            yield ("repro_stream_refit_lag_seconds", labels, lags[-1])
+            yield ("repro_stream_refit_lag_max_seconds", labels, max(lags))

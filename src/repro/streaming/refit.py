@@ -47,6 +47,13 @@ from ..core.model import STSMForecaster
 from ..data.splits import SpaceSplit
 from ..data.windows import WindowSpec
 from ..engine import ArtifactStore, EarlyStopping, configure_store
+from ..obs.trace import (
+    TraceContext,
+    get_recorder,
+    mint_span_id,
+    mint_trace_id,
+    record_span,
+)
 from .buffer import StreamBuffer
 
 __all__ = ["RefitPolicy", "RefitRecord", "RefitScheduler", "fit_reference"]
@@ -243,16 +250,34 @@ class RefitScheduler:
         start, end = policy.window(index)
         view = self.buffer.dataset_view(start, end, name_suffix=f"refit-{index}")
         data_ready = float(self.buffer.arrival_times(end - 1, end)[0])
+        # Each refit gets its own trace (trigger → refresh → fit, with
+        # the bridge adding a swap span when it deploys the model).  The
+        # root span id is pre-minted so children parent under it while
+        # the refit is still running.
+        recorder = get_recorder()
+        root = (
+            TraceContext(mint_trace_id(), mint_span_id())
+            if recorder.enabled
+            else None
+        )
+        refit_began = time.monotonic()
         refreshed = 0
         if self.store is not None:
             # Pick up segments persisted by concurrent writers (sweep
             # workers, an earlier serve) before the fit probes the store.
+            refresh_began = time.monotonic()
             refreshed = self.store.refresh_disk_index()
+            if root is not None:
+                record_span(
+                    "refit.refresh_index", root, refresh_began,
+                    time.monotonic(), entries=refreshed,
+                )
         model = STSMForecaster(
             self.config.replace(epochs=policy.refit_epochs),
             name=f"{getattr(self.config, 'name', 'STSM')}-refit{index}",
         )
         warm_dir = self.warm_source(index)
+        fit_began = time.monotonic()
         report = model.fit(
             view,
             self.split,
@@ -261,6 +286,21 @@ class RefitScheduler:
             warm_start_dir=str(warm_dir) if warm_dir is not None else None,
             checkpoint_dir=str(self.checkpoint_dir(index)),
         )
+        if root is not None:
+            record_span(
+                "refit.fit", root, fit_began, time.monotonic(),
+                index=index, epochs=report.epochs,
+            )
+            recorder.record({
+                "trace": root.trace_id,
+                "span": root.span_id,
+                "parent": None,
+                "name": "refit",
+                "start": refit_began,
+                "dur": time.monotonic() - refit_began,
+                "wall": time.time(),
+                "attrs": {"index": index, "window": [start, end]},
+            })
         record = RefitRecord(
             index=index,
             window_start=start,
@@ -274,6 +314,11 @@ class RefitScheduler:
             fitted_monotonic=time.monotonic(),
             store_entries_refreshed=refreshed,
         )
+        if root is not None:
+            # The bridge parents its refit.swap span here when the
+            # refreshed model is deployed.
+            record.extra["trace_id"] = root.trace_id
+            record.extra["trace_span"] = root.span_id
         self.records.append(record)
         self.model = model
         return record

@@ -482,3 +482,105 @@ class TestByteStats:
         totals = store.stats["totals"]
         assert totals["memory_bytes"] == 24 + 128
         assert totals["disk_bytes"] == 24 + 128
+
+
+class TestConcurrentStats:
+    """Per-namespace stats stay coherent under reader/writer pressure."""
+
+    def test_counters_monotone_under_concurrent_readers_writers(self):
+        store = ArtifactStore()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        keys = [_key("k", i) for i in range(32)]
+
+        def writer():
+            try:
+                index = 0
+                while not stop.is_set():
+                    store.put("dtw_pair", keys[index % 32], float(index))
+                    index += 1
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        def reader():
+            try:
+                index = 0
+                while not stop.is_set():
+                    store.get("dtw_pair", keys[index % 32])
+                    store.get("dtw_pair", _key("never", index))  # miss
+                    index += 1
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def scraper(snapshots):
+            try:
+                while not stop.is_set():
+                    stats = store.stats["namespaces"].get("dtw_pair")
+                    if stats is not None:
+                        snapshots.append(
+                            (stats["hits"], stats["misses"])
+                        )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        snapshots: list[tuple[int, int]] = []
+        threads = (
+            [threading.Thread(target=writer) for _ in range(2)]
+            + [threading.Thread(target=reader) for _ in range(3)]
+            + [threading.Thread(target=scraper, args=(snapshots,))]
+        )
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.4)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors, errors
+        # Counters only ever go up across scrape snapshots.
+        for (h0, m0), (h1, m1) in zip(snapshots, snapshots[1:]):
+            assert h1 >= h0
+            assert m1 >= m0
+        final = store.stats["namespaces"]["dtw_pair"]
+        assert final["hits"] > 0 and final["misses"] > 0
+        assert final["memory_bytes"] >= 0
+
+    def test_bytes_consistent_after_concurrent_refresh(self, tmp_path):
+        """refresh_disk_index during writes keeps disk stats consistent.
+
+        Two stores share one cache directory: a writer persists through
+        one handle while the other handle refreshes its disk index; the
+        refreshed handle's per-namespace disk bytes must equal the sum
+        of what was actually persisted (no double counts, no negatives).
+        """
+        writer_store = ArtifactStore(disk_dir=tmp_path)
+        reader_store = ArtifactStore(disk_dir=tmp_path)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def refresher():
+            try:
+                while not stop.is_set():
+                    reader_store.refresh_disk_index()
+                    stats = reader_store.stats["namespaces"].get("dtw_pair")
+                    if stats is not None:
+                        assert stats["disk_bytes"] >= 0
+                        assert stats["disk_items"] >= 0
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=refresher)
+        thread.start()
+        try:
+            for index in range(20):
+                writer_store.put("dtw_pair", _key("c", index), np.arange(3.0))
+                writer_store.persist()
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert not errors, errors
+        reader_store.refresh_disk_index()
+        ns = reader_store.stats["namespaces"]["dtw_pair"]
+        assert ns["disk_items"] == 20
+        assert ns["disk_bytes"] == 20 * 24

@@ -1,0 +1,179 @@
+"""REPRO_OBS switch, backend op counting, trainer profiling, CLI report."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.backend import get_backend
+from repro.obs import (
+    CountingBackend,
+    get_recorder,
+    global_registry,
+    instrument_backend,
+    maybe_instrument_backend,
+    obs_enabled,
+    set_obs_enabled,
+)
+from repro.obs.__main__ import _tree_lines, load_spans, main, report
+
+
+@pytest.fixture()
+def obs_off_after(request):
+    """Restore the env-derived switch (and recorder flag) after the test."""
+    yield
+    set_obs_enabled(None)
+
+
+class TestSwitch:
+    def test_default_off(self, obs_off_after):
+        set_obs_enabled(None)
+        assert obs_enabled() is False
+        assert get_recorder().enabled is False
+
+    def test_override_flips_recorder_too(self, obs_off_after):
+        set_obs_enabled(True)
+        assert obs_enabled() is True
+        assert get_recorder().enabled is True
+        set_obs_enabled(False)
+        assert obs_enabled() is False
+        assert get_recorder().enabled is False
+
+    def test_env_var_read(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        set_obs_enabled(None)
+        try:
+            assert obs_enabled() is True
+        finally:
+            # Re-read with the var gone *inside* the test: the fixture
+            # teardown would otherwise race monkeypatch's env restore.
+            monkeypatch.delenv("REPRO_OBS")
+            set_obs_enabled(None)
+
+
+class TestCountingBackend:
+    def test_ops_counted_and_results_identical(self):
+        backend = get_backend()
+        counted = instrument_backend(backend)
+        counter = global_registry().counter(
+            "repro_backend_ops_total", labelnames=("backend", "op")
+        )
+        name = getattr(backend, "name", "?")
+        before = counter.labels(backend=name, op="matmul").value
+        a = np.random.default_rng(0).random((4, 4))
+        direct = backend.matmul(a, a)
+        via_proxy = counted.matmul(a, a)
+        assert np.array_equal(direct, via_proxy)
+        after = counter.labels(backend=name, op="matmul").value
+        assert after == before + 1
+
+    def test_idempotent_wrap(self):
+        counted = instrument_backend(get_backend())
+        assert instrument_backend(counted) is counted
+
+    def test_wrapped_property(self):
+        backend = get_backend()
+        assert instrument_backend(backend).__wrapped__ is backend
+
+    def test_non_callables_pass_through(self):
+        backend = get_backend()
+        counted = instrument_backend(backend)
+        assert counted.name == backend.name
+
+    def test_maybe_instrument_follows_switch(self, obs_off_after):
+        backend = get_backend()
+        set_obs_enabled(False)
+        assert maybe_instrument_backend(backend) is backend
+        set_obs_enabled(True)
+        assert isinstance(maybe_instrument_backend(backend), CountingBackend)
+
+
+class TestTrainerProfiling:
+    def _fit(self):
+        from repro.engine.trainer import Trainer, TrainingProgram
+
+        class Program(TrainingProgram):
+            def run_epoch(self, epoch, rng):
+                return float(epoch)
+
+        trainer = Trainer(Program(), max_epochs=3)
+        trainer.fit()
+        return trainer
+
+    def test_profile_none_when_disabled(self, obs_off_after):
+        set_obs_enabled(False)
+        assert self._fit().profile is None
+
+    def test_profile_collected_when_enabled(self, obs_off_after):
+        set_obs_enabled(True)
+        profile = self._fit().profile
+        assert len(profile["epochs"]) == 3
+        epoch = profile["epochs"][0]
+        assert set(epoch) == {
+            "epoch", "epoch_start", "run_epoch", "validate", "total",
+        }
+        assert profile["phase_seconds"]["run_epoch"] >= 0.0
+        assert profile["total_seconds"] > 0.0
+        # train.* spans landed under the profile's trace.
+        spans = get_recorder().spans(profile["trace_id"])
+        names = [s["name"] for s in spans]
+        assert names.count("train.epoch") == 3
+        assert "train.fit" in names
+        assert "train.run_epoch" in names
+
+    def test_history_identical_on_and_off(self, obs_off_after):
+        set_obs_enabled(False)
+        off = self._fit().history.train_losses
+        set_obs_enabled(True)
+        on = self._fit().history.train_losses
+        assert on == off
+
+
+class TestReportCLI:
+    SPANS = [
+        {"trace": "t1", "span": "a", "parent": None,
+         "name": "client.request", "start": 0.0, "dur": 0.010, "attrs": {}},
+        {"trace": "t1", "span": "b", "parent": "a",
+         "name": "server.request", "start": 0.001, "dur": 0.008,
+         "attrs": {"model": "stsm"}},
+        {"trace": "t1", "span": "c", "parent": "b",
+         "name": "service.predict", "start": 0.002, "dur": 0.005, "attrs": {}},
+    ]
+
+    def test_tree_nesting(self):
+        lines = _tree_lines(self.SPANS)
+        assert lines[0].lstrip().startswith("client.request")
+        assert lines[1].startswith("    server.request")
+        assert lines[2].startswith("      service.predict")
+
+    def test_orphaned_parent_becomes_root(self):
+        lines = _tree_lines([
+            {"trace": "t", "span": "x", "parent": "gone",
+             "name": "lonely", "start": 0.0, "dur": 0.001, "attrs": {}},
+        ])
+        assert len(lines) == 1
+
+    def test_report_aggregates(self):
+        buffer = io.StringIO()
+        report(self.SPANS, stream=buffer)
+        text = buffer.getvalue()
+        assert "3 span(s) across 1 trace(s)" in text
+        assert "by span name:" in text
+        assert "service.predict" in text
+
+    def test_load_spans_and_main(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "traces.jsonl"
+        path.write_text(
+            "".join(json.dumps(s) + "\n" for s in self.SPANS), encoding="utf-8"
+        )
+        assert len(load_spans(str(path))) == 3
+        assert main(["report", str(path), "--trace", "t1"]) == 0
+        assert "client.request" in capsys.readouterr().out
+
+    def test_load_spans_rejects_non_span_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no": "trace"}\n', encoding="utf-8")
+        with pytest.raises(SystemExit, match="not a span record"):
+            load_spans(str(path))

@@ -1,0 +1,172 @@
+"""Tracing: contexts, recorder, ambient propagation, span helpers."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TraceContext,
+    TraceRecorder,
+    current_trace,
+    mint_span_id,
+    mint_trace_id,
+    record_span,
+    span,
+    use_trace,
+)
+
+
+class TestIds:
+    def test_trace_ids_are_16_hex(self):
+        tid = mint_trace_id()
+        assert len(tid) == 16
+        int(tid, 16)
+
+    def test_span_ids_are_8_hex(self):
+        sid = mint_span_id()
+        assert len(sid) == 8
+        int(sid, 16)
+
+    def test_ids_are_fresh(self):
+        assert len({mint_trace_id() for _ in range(64)}) == 64
+
+
+class TestTraceContext:
+    def test_child_keeps_trace_id(self):
+        ctx = TraceContext("t" * 16, "a" * 8)
+        child = ctx.child("b" * 8)
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == "b" * 8
+
+
+class TestRecorder:
+    def test_disabled_recorder_is_a_noop(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record({"trace": "t", "span": "s"})
+        assert recorder.spans() == []
+        assert recorder.recorded == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        recorder = TraceRecorder(maxlen=3, enabled=True)
+        for index in range(5):
+            recorder.record({"trace": "t", "span": str(index)})
+        assert [s["span"] for s in recorder.spans()] == ["2", "3", "4"]
+        assert recorder.dropped == 2
+        assert recorder.recorded == 5
+
+    def test_filter_by_trace_and_grouping(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record({"trace": "a", "span": "1"})
+        recorder.record({"trace": "b", "span": "2"})
+        recorder.record({"trace": "a", "span": "3"})
+        assert [s["span"] for s in recorder.spans("a")] == ["1", "3"]
+        assert set(recorder.traces()) == {"a", "b"}
+
+    def test_jsonl_round_trip(self):
+        recorder = TraceRecorder(enabled=True)
+        ctx = TraceContext(mint_trace_id())
+        record_span("unit", ctx, 1.0, 1.5, recorder=recorder, k="v")
+        lines = recorder.to_jsonl().strip().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["name"] == "unit"
+        assert parsed["dur"] == pytest.approx(0.5)
+        assert parsed["attrs"] == {"k": "v"}
+
+    def test_stats(self):
+        recorder = TraceRecorder(maxlen=10, enabled=True)
+        recorder.record({"trace": "t", "span": "s"})
+        stats = recorder.stats
+        assert stats["retained"] == 1
+        assert stats["maxlen"] == 10
+        assert stats["enabled"] is True
+
+    def test_clear(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.record({"trace": "t", "span": "s"})
+        recorder.clear()
+        assert recorder.spans() == []
+        assert recorder.recorded == 0
+
+
+class TestRecordSpan:
+    def test_parents_under_context_and_returns_child(self):
+        recorder = TraceRecorder(enabled=True)
+        root = TraceContext("f" * 16, "a" * 8)
+        child_ctx = record_span("stage", root, 0.0, 1.0, recorder=recorder)
+        [rec] = recorder.spans()
+        assert rec["trace"] == root.trace_id
+        assert rec["parent"] == root.span_id
+        assert rec["span"] == child_ctx.span_id
+        assert child_ctx.trace_id == root.trace_id
+
+    def test_negative_interval_clamped(self):
+        recorder = TraceRecorder(enabled=True)
+        record_span("x", TraceContext("t"), 2.0, 1.0, recorder=recorder)
+        assert recorder.spans()[0]["dur"] == 0.0
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert current_trace() is None
+
+    def test_use_trace_scopes_and_restores(self):
+        ctx = TraceContext("t" * 16, "a" * 8)
+        with use_trace(ctx) as scoped:
+            assert scoped is ctx
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_nested_scopes_restore_outer(self):
+        outer = TraceContext("t" * 16, "a" * 8)
+        inner = TraceContext("t" * 16, "b" * 8)
+        with use_trace(outer):
+            with use_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_ambient_context_is_thread_local(self):
+        ctx = TraceContext("t" * 16, "a" * 8)
+        seen = []
+
+        def probe():
+            seen.append(current_trace())
+
+        with use_trace(ctx):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestSpanContextManager:
+    def test_records_and_nests_via_ambient(self):
+        recorder = TraceRecorder(enabled=True)
+        root = TraceContext("f" * 16, "a" * 8)
+        with span("outer", root, recorder=recorder) as outer_ctx:
+            assert current_trace() is outer_ctx
+            with span("inner", recorder=recorder):
+                pass
+        spans = {s["name"]: s for s in recorder.spans()}
+        assert spans["inner"]["parent"] == spans["outer"]["span"]
+        assert spans["outer"]["parent"] == root.span_id
+
+    def test_no_context_yields_untraced(self):
+        recorder = TraceRecorder(enabled=True)
+        with span("x", recorder=recorder) as ctx:
+            assert ctx is None
+        assert recorder.spans() == []
+
+    def test_disabled_recorder_yields_untraced(self):
+        recorder = TraceRecorder(enabled=False)
+        with span("x", TraceContext("t"), recorder=recorder) as ctx:
+            assert ctx is None
+
+    def test_exception_captured_in_attrs_and_reraised(self):
+        recorder = TraceRecorder(enabled=True)
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("x", TraceContext("t"), recorder=recorder):
+                raise RuntimeError("boom")
+        [rec] = recorder.spans()
+        assert rec["attrs"]["error"] == "RuntimeError: boom"

@@ -399,6 +399,36 @@ class TestStatsSections:
 
     def test_reserved_section_names_rejected(self):
         with ServingRuntime() as runtime:
-            for name in ("models", "totals", "store", "swaps"):
+            for name in ("models", "totals", "store", "swaps", "metrics"):
                 with pytest.raises(ValueError, match="reserved"):
                     runtime.add_stats_source(name, dict)
+
+    def test_raising_attached_store_degrades_to_error_stanza(self):
+        """A wedged store's stats read must not take stats() down."""
+
+        class _BrokenStore:
+            @property
+            def stats(self):
+                raise OSError("disk gone")
+
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+            runtime.attach_store(_BrokenStore())
+            stats = runtime.stats()
+            assert stats["store"] == {"error": "OSError: disk gone"}
+            # The rest of the payload is intact.
+            assert "a" in stats["models"]
+            assert "metrics" in stats
+
+    def test_raising_provider_does_not_hide_later_sections(self):
+        with ServingRuntime(deadline_ms=1.0) as runtime:
+            runtime.register("a", _KeyedForecaster(1.0))
+
+            def broken():
+                raise ValueError("nope")
+
+            runtime.add_stats_source("first", broken)
+            runtime.add_stats_source("second", lambda: {"ok": True})
+            stats = runtime.stats()
+            assert stats["first"] == {"error": "ValueError: nope"}
+            assert stats["second"] == {"ok": True}
