@@ -12,11 +12,17 @@ Three legs, all over the same fixed-seed STSM fits:
   second-and-later fits);
 * **cold_disk** — a fresh store instance over the persisted directory
   with an empty memory tier (a new process), re-running one fit entirely
-  from disk hits.
+  from disk hits;
+* **sweep_quota** — the same sweep against a disk tier capped at ~40%
+  of the unbounded leg's footprint: the LRU reaper must evict whole
+  segments (hard gate), the post-GC tier must sit at or under the quota
+  (hard gate), and the hit rate may trail the unbounded sweep by at
+  most 10% relative (full mode).
 
 Every leg's per-seed metrics (loss history, best validation RMSE, a
 sha256 over the predictions) are certified *identical* to the
-store-disabled sweep — the store is bit-exact by contract, and this
+store-disabled sweep — the store is bit-exact by contract (an evicted
+entry is a miss that recomputes, never a wrong answer), and this
 benchmark fails if it is not.
 
 Run::
@@ -61,7 +67,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core import STSMConfig, STSMForecaster  # noqa: E402
 from repro.data import WindowSpec, space_split, temporal_split  # noqa: E402
 from repro.data.synthetic import make_pems_bay  # noqa: E402
-from repro.engine import ArtifactStore, configure_store, reset_store  # noqa: E402
+from repro.engine import ArtifactStore, StoreConfig, open_store, reset_store  # noqa: E402
 from repro.evaluation import forecast_window_starts  # noqa: E402
 
 SEEDS = (0, 1, 2)
@@ -119,26 +125,51 @@ def run_benchmark(args: argparse.Namespace) -> int:
     nostore = [_fit_once(seed, False, shape) for seed in seeds]
 
     cache_dir = Path(tempfile.mkdtemp(prefix="bench-cache-store-"))
-    store = configure_store(disk_dir=cache_dir)
+    store = open_store(StoreConfig(disk_dir=cache_dir))
     warm = [_fit_once(seed, True, shape) for seed in seeds]
+    store.persist()
+    unbounded_bytes = store.disk_usage()
     warm_stats = store.stats["totals"]
 
     # Cold start: a brand-new process would see only the disk tier.
     reset_store()
-    cold_store = configure_store(store=ArtifactStore(disk_dir=cache_dir))
+    cold_store = open_store(store=ArtifactStore(disk_dir=cache_dir))
     cold = _fit_once(seeds[0], True, shape)
     cold_stats = cold_store.stats["totals"]
     reset_store()
 
-    identical = all(
-        _metrics_of(a) == _metrics_of(b) for a, b in zip(nostore, warm)
-    ) and _metrics_of(cold) == _metrics_of(nostore[0])
+    # Quota leg: the identical sweep against a tier capped well below
+    # the unbounded footprint, so the LRU reaper has to evict.
+    quota = max(1, int(unbounded_bytes * 0.4))
+    quota_dir = Path(tempfile.mkdtemp(prefix="bench-cache-quota-"))
+    quota_store = open_store(StoreConfig(disk_dir=quota_dir, max_bytes=quota))
+    quota_began = time.perf_counter()
+    bounded = [_fit_once(seed, True, shape) for seed in seeds]
+    quota_seconds = time.perf_counter() - quota_began
+    quota_store.persist()  # quota store: persist() enforces the cap itself
+    quota_bytes_after = quota_store.disk_usage()
+    quota_stats = quota_store.stats["totals"]
+    reset_store()
+
+    identical = (
+        all(_metrics_of(a) == _metrics_of(b) for a, b in zip(nostore, warm))
+        and _metrics_of(cold) == _metrics_of(nostore[0])
+        and all(_metrics_of(a) == _metrics_of(b) for a, b in zip(nostore, bounded))
+    )
 
     repeat_speedup = float(
         np.mean([r["seconds"] for r in nostore[1:]])
         / max(np.mean([r["seconds"] for r in warm[1:]]), 1e-9)
     )
     cold_speedup = float(nostore[0]["seconds"] / max(cold["seconds"], 1e-9))
+
+    def _hit_rate(stats: dict) -> float:
+        served = stats["hits"] + stats["disk_hits"]
+        return served / max(served + stats["misses"], 1)
+
+    warm_hit_rate = _hit_rate(warm_stats)
+    quota_hit_rate = _hit_rate(quota_stats)
+    evicted_segments = quota_stats["lifecycle"]["evicted_segments"]
 
     results = {
         "mode": "smoke" if args.smoke else "full",
@@ -153,12 +184,21 @@ def run_benchmark(args: argparse.Namespace) -> int:
             "sweep_nostore": [r["seconds"] for r in nostore],
             "sweep_store": [r["seconds"] for r in warm],
             "cold_disk": cold["seconds"],
+            "sweep_quota": quota_seconds,
         },
         "speedup": {
             "repeat_fits": repeat_speedup,
             "cold_start_from_disk": cold_speedup,
         },
-        "store_stats": {"warm": warm_stats, "cold": cold_stats},
+        "quota": {
+            "unbounded_bytes": unbounded_bytes,
+            "quota_bytes": quota,
+            "disk_bytes_after_gc": quota_bytes_after,
+            "evicted_segments": evicted_segments,
+            "hit_rate_unbounded": warm_hit_rate,
+            "hit_rate_quota": quota_hit_rate,
+        },
+        "store_stats": {"warm": warm_stats, "cold": cold_stats, "quota": quota_stats},
         "parity": {
             "identical_metrics": identical,
             "best_val_rmse": [r["best_val_rmse"] for r in nostore],
@@ -174,6 +214,11 @@ def run_benchmark(args: argparse.Namespace) -> int:
         f"speedup        repeat_fits {repeat_speedup:.2f}x   "
         f"cold_start {cold_speedup:.2f}x   metrics identical: {identical}"
     )
+    print(
+        f"quota          {quota_bytes_after}/{quota} bytes after gc "
+        f"(unbounded {unbounded_bytes})   evicted_segments {evicted_segments}   "
+        f"hit_rate {quota_hit_rate:.3f} vs {warm_hit_rate:.3f} unbounded"
+    )
 
     if args.output != "-":
         output = Path(args.output) if args.output else REPO_ROOT / "BENCH_cache_store.json"
@@ -184,8 +229,20 @@ def run_benchmark(args: argparse.Namespace) -> int:
     if not identical:
         print("ERROR: store-enabled metrics drifted from the uncached sweep", file=sys.stderr)
         return 1
+    if quota_bytes_after > quota:
+        print(f"ERROR: post-GC disk tier ({quota_bytes_after} bytes) exceeds the "
+              f"{quota}-byte quota", file=sys.stderr)
+        return 1
+    if evicted_segments <= 0:
+        print("ERROR: the quota leg never forced an eviction — the reaper is dead "
+              "or the quota is vacuous", file=sys.stderr)
+        return 1
     if not args.smoke and repeat_speedup < 2.0:
         print("ERROR: repeat-fit speedup below the 2x target", file=sys.stderr)
+        return 1
+    if not args.smoke and quota_hit_rate < warm_hit_rate * 0.9:
+        print(f"ERROR: quota-leg hit rate {quota_hit_rate:.3f} trails the unbounded "
+              f"rate {warm_hit_rate:.3f} by more than 10%", file=sys.stderr)
         return 1
     return 0
 
@@ -225,14 +282,14 @@ def _mini_sweep() -> dict:
 
 
 def run_ci_sweep(args: argparse.Namespace) -> int:
-    from repro.engine import CACHE_DIR_ENV, get_store
+    from repro.engine import CACHE_DIR_ENV, active_store
 
     if not os.environ.get(CACHE_DIR_ENV):
         print(f"ERROR: --ci-sweep requires {CACHE_DIR_ENV} to be set", file=sys.stderr)
         return 2
     began = time.perf_counter()
     metrics = _mini_sweep()
-    store = get_store()
+    store = active_store(True)
     store.persist()
     stats = store.stats["totals"]
     payload = {

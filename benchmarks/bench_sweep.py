@@ -49,7 +49,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.data.synthetic import make_dataset  # noqa: E402
-from repro.engine import configure_store, reset_store  # noqa: E402
+from repro.engine import StoreConfig, open_store, reset_store  # noqa: E402
 from repro.experiments.configs import get_scale  # noqa: E402
 from repro.experiments.runners import run_matrix, splits_for  # noqa: E402
 
@@ -108,7 +108,7 @@ def _flatten_metrics(matrix: dict) -> dict:
 def _run_leg(label: str, jobs: int, cache_dir: Path, grid: dict) -> dict:
     """One timed run_matrix pass over the grid against ``cache_dir``."""
     reset_store()
-    configure_store(disk_dir=cache_dir)
+    open_store(StoreConfig(disk_dir=cache_dir))
     began = time.perf_counter()
     matrix = run_matrix(
         grid["dataset"],

@@ -110,7 +110,7 @@ class STSMConfig:
 
     # Cross-fit artifact reuse (repro.engine.store): None auto-enables
     # the shared content-addressed store when the process has opted in
-    # (REPRO_CACHE_DIR set or configure_store() called); True forces the
+    # (REPRO_CACHE_DIR set or open_store() called); True forces the
     # shared store, False forces per-fit cache isolation.  Hits are
     # bit-exact, so fixed-seed metrics are identical either way.
     cache_store: bool | None = None

@@ -47,8 +47,8 @@ from ..engine import (
     PairwiseDTWCache,
     Trainer,
     TrainingProgram,
+    active_store,
     array_key,
-    resolve_store,
 )
 from ..graph.adjacency import gaussian_kernel_adjacency, gcn_normalise
 from ..graph.distances import euclidean_distance_matrix
@@ -337,7 +337,7 @@ class STSMForecaster(Forecaster):
         # The store makes every DTW pair and masked adjacency computed
         # here visible to later fits (and, with a disk tier, later
         # processes); hits are bit-exact, so numbers never change.
-        store = resolve_store(cfg.cache_store)
+        store = active_store(cfg.cache_store)
         self._store = store
         self._dtw_cache = PairwiseDTWCache(store=store)
         if store is not None:
@@ -570,7 +570,7 @@ class STSMForecaster(Forecaster):
         if getattr(self, "_dtw_cache", None) is None:
             # Checkpoint-restore path (no fit): a store-backed cache lets
             # a warmed disk tier skip the test-graph dynamic programs.
-            self._dtw_cache = PairwiseDTWCache(store=resolve_store(cfg.cache_store))
+            self._dtw_cache = PairwiseDTWCache(store=active_store(cfg.cache_store))
         a_dtw_test = build_dtw_adjacency(
             filled,
             observed_index=observed,

@@ -17,32 +17,50 @@ from .cache import LRUCache, PairwiseDTWCache, array_key
 from .callbacks import EarlyStopping, History
 from .store import (
     CACHE_DIR_ENV,
+    CACHE_MAX_BYTES_ENV,
+    CACHE_MEMORY_ITEMS_ENV,
     ArtifactStore,
+    StoreConfig,
     StoreView,
+    active_store,
+    add_cache_arguments,
     configure_store,
     default_store_scope,
     get_store,
+    open_store,
+    parse_byte_size,
     reset_store,
     resolve_store,
     store_active,
+    store_config_from_args,
+    store_metric_samples,
 )
 from .trainer import Trainer, TrainingProgram
 
 __all__ = [
     "ArtifactStore",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
+    "CACHE_MEMORY_ITEMS_ENV",
     "EarlyStopping",
     "History",
     "LRUCache",
     "PairwiseDTWCache",
+    "StoreConfig",
     "StoreView",
     "Trainer",
     "TrainingProgram",
+    "active_store",
+    "add_cache_arguments",
     "array_key",
     "configure_store",
     "default_store_scope",
     "get_store",
+    "open_store",
+    "parse_byte_size",
     "reset_store",
     "resolve_store",
     "store_active",
+    "store_config_from_args",
+    "store_metric_samples",
 ]

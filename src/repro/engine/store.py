@@ -29,6 +29,21 @@ Invalidation is free by construction: keys hash the *content* of every
 input that determines the artifact, so changed data or hyper-parameters
 simply miss.  Stale entries are only ever evicted (memory LRU) or left
 unreferenced on disk; a cache directory can always be deleted wholesale.
+
+Lifecycle (PR 10): the disk tier is no longer append-only.  A byte
+quota (``max_bytes`` / ``--cache-max-bytes`` / ``$REPRO_CACHE_MAX_BYTES``)
+is enforced at :meth:`ArtifactStore.persist` time and on demand via
+:meth:`ArtifactStore.gc`, which first compacts sparse segments (live
+payload ratio below ``compact_ratio`` → rewritten dense) and then
+evicts whole least-recently-used segments until the tier fits.  The
+bit-exact contract survives: a surviving hit is byte-identical, an
+evicted entry is a miss that recomputes — never a wrong answer.
+
+Process wiring is a single pair — :func:`open_store` installs a store
+built from a :class:`StoreConfig` (environment-backed), and
+:func:`active_store` resolves the three-state per-fit opt-in flag.  The
+former four-function surface (``configure_store`` / ``get_store`` /
+``resolve_store`` / ``store_active``) survives as deprecated shims.
 """
 
 from __future__ import annotations
@@ -50,20 +65,34 @@ from .cache import LRUCache, array_key
 
 __all__ = [
     "ArtifactStore",
+    "StoreConfig",
     "StoreView",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
+    "CACHE_MEMORY_ITEMS_ENV",
+    "active_store",
+    "add_cache_arguments",
     "configure_store",
     "default_store_scope",
     "get_store",
+    "open_store",
+    "parse_byte_size",
     "reset_store",
     "resolve_store",
     "store_active",
+    "store_config_from_args",
+    "store_metric_samples",
 ]
 
 #: Environment variable that opt-ins the process-wide store with a disk
 #: tier rooted at its value (the ``--cache-dir`` CLI flags set the same
 #: directory explicitly).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Disk-tier byte quota (``--cache-max-bytes``): persist()/gc() evict
+#: whole LRU segments until the tier fits.  Accepts K/M/G/T suffixes.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+#: Memory-tier per-namespace entry capacity (``--cache-memory-items``).
+CACHE_MEMORY_ITEMS_ENV = "REPRO_CACHE_MEMORY_ITEMS"
 
 MANIFEST_NAME = "store-manifest.json"
 _FORMAT_VERSION = 1
@@ -83,6 +112,35 @@ _FALLBACK_MAXSIZE = 4096
 def _payload_bytes(value) -> int:
     """Disk-tier payload size of one stored value (floats are 8 bytes)."""
     return int(value.nbytes) if isinstance(value, np.ndarray) else 8
+
+
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def parse_byte_size(text: str | int | None) -> int | None:
+    """``"512M"`` → ``536870912``: byte sizes with binary K/M/G/T suffixes.
+
+    Accepts plain ints (returned as-is), ``None`` (passed through so
+    unset env vars stay unset), decimal magnitudes (``"1.5G"``) and an
+    optional trailing ``B`` (``"512MB"``).  The parser for every quota
+    surface — ``--cache-max-bytes`` and ``$REPRO_CACHE_MAX_BYTES``.
+    """
+    if text is None or isinstance(text, int):
+        return text
+    cleaned = str(text).strip().lower()
+    if cleaned.endswith("b") and len(cleaned) > 1:
+        cleaned = cleaned[:-1]
+    factor = 1
+    if cleaned and cleaned[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(float(cleaned) * factor) if cleaned else None
+    except ValueError:
+        value = None
+    if value is None or value < 0:
+        raise ValueError(f"unparseable byte size {text!r} (want e.g. 1048576, 512M, 1.5G)")
+    return value
 
 
 class ArtifactStore:
@@ -109,6 +167,16 @@ class ArtifactStore:
         serving workers over a bundle's exported cache — without it,
         every freshly computed block would accumulate in the dirty
         buffer forever, since nothing in the serving path persists.
+        Read-only stores refuse :meth:`gc` outright.
+    max_bytes:
+        Optional disk-tier byte quota.  When set, every ``persist()``
+        ends with a :meth:`gc` pass that evicts whole least-recently-
+        used segments until the indexed segment files fit the quota.
+        Accepts ``parse_byte_size`` strings (``"512M"``).
+    compact_ratio:
+        Live-payload threshold below which :meth:`gc` rewrites a sparse
+        segment dense (``0.5`` → segments less than half live get
+        compacted).  ``0`` disables compaction.
 
     Keys are ``bytes`` (16-byte :func:`array_key` digests); values are
     ``float`` or ``np.ndarray``.  Anything else is a ``TypeError`` at
@@ -123,6 +191,8 @@ class ArtifactStore:
         *,
         max_loaded_segments: int = 8,
         read_only: bool = False,
+        max_bytes: int | str | None = None,
+        compact_ratio: float = 0.5,
     ) -> None:
         if isinstance(maxsize, int):
             self._maxsize: dict = {}
@@ -135,6 +205,8 @@ class ArtifactStore:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.max_loaded_segments = max_loaded_segments
         self.read_only = read_only
+        self.max_bytes = parse_byte_size(max_bytes)
+        self.compact_ratio = float(compact_ratio)
         self._lock = threading.RLock()
         self._tiers: dict[str, LRUCache] = {}
         # Disk index: (namespace, hex key) -> segment filename.
@@ -149,12 +221,26 @@ class ArtifactStore:
         # for entries persisted by pre-metadata writers (old manifests
         # stay readable; their entries just carry no accounting).
         self._entry_meta: dict[tuple[str, str], dict] = {}
+        # Last-touched stamps per segment (GC eviction order): updated
+        # on every disk hit and persisted into the manifest as the
+        # segment's "last_used", so LRU order survives across processes.
+        self._segment_touched: dict[str, float] = {}
         self._segment_counter = 0
         # Telemetry, per namespace.
         self._hits: dict[str, int] = {}
         self._disk_hits: dict[str, int] = {}
         self._misses: dict[str, int] = {}
         self.corrupt_segments = 0
+        # Lifecycle telemetry (cumulative over this store's lifetime).
+        self._lifecycle = {
+            "gc_runs": 0,
+            "evicted_segments": 0,
+            "evicted_entries": 0,
+            "evicted_bytes": 0,
+            "compacted_segments": 0,
+            "compacted_entries": 0,
+            "reclaimed_bytes": 0,
+        }
         if self.disk_dir is not None and self.disk_dir.exists():
             with self._lock:
                 self._load_disk_index()
@@ -246,17 +332,34 @@ class ArtifactStore:
         decoded = self._loaded.get(segment)
         if decoded is None:
             decoded = self._load_segment(segment)
-            if decoded is None:  # corrupt: index already scrubbed
+            if decoded is None:  # corrupt or vanished: index already scrubbed
                 return _MISSING
             self._loaded[segment] = decoded
             while len(self._loaded) > self.max_loaded_segments:
                 self._loaded.popitem(last=False)
         else:
             self._loaded.move_to_end(segment)
+        self._segment_touched[segment] = time.time()
         return decoded.get(entry, _MISSING)
 
+    def _scrub_segment(self, filename: str) -> list[tuple[str, str]]:
+        """Forget one segment everywhere it is tracked; returns its entries.
+
+        Index, per-entry metadata, decoded-segment LRU and touch stamps
+        all go together — dropping the index alone would leave
+        ``stats()`` byte accounting counting entries that can no longer
+        be served.
+        """
+        entries = [e for e, seg in self._disk_index.items() if seg == filename]
+        for entry in entries:
+            del self._disk_index[entry]
+            self._entry_meta.pop(entry, None)
+        self._loaded.pop(filename, None)
+        self._segment_touched.pop(filename, None)
+        return entries
+
     def _load_segment(self, filename: str):
-        """Decode one segment; corruption scrubs it from the index."""
+        """Decode one segment; corruption or disappearance scrubs it."""
         path = self.disk_dir / filename
         try:
             with np.load(path, allow_pickle=False) as archive:
@@ -273,12 +376,16 @@ class ArtifactStore:
                     if member.startswith(_ARRAY_PREFIX):
                         decoded[(namespace, member[len(_ARRAY_PREFIX):])] = archive[member]
                 return decoded
+        except FileNotFoundError:
+            # Evicted by another process's gc() between our index build
+            # and this read: a plain miss (the caller recomputes), not
+            # corruption — no warning, no corrupt_segments bump.
+            self._scrub_segment(filename)
+            return None
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as error:
             warnings.warn(f"dropping unreadable cache segment {path}: {error}")
             self.corrupt_segments += 1
-            self._disk_index = {
-                entry: seg for entry, seg in self._disk_index.items() if seg != filename
-            }
+            self._scrub_segment(filename)
             return None
 
     def _load_disk_index(self) -> None:
@@ -293,6 +400,14 @@ class ArtifactStore:
                     for name, spec in manifest.get("segments", {}).items():
                         namespace = spec["namespace"]
                         segments[name] = [(namespace, hexkey) for hexkey in spec["keys"]]
+                        # Optional per-segment last-touch stamp (GC LRU
+                        # order across processes); max-merged so a local
+                        # fresher touch is never aged backwards.
+                        touched = spec.get("last_used")
+                        if isinstance(touched, (int, float)):
+                            self._segment_touched[name] = max(
+                                self._segment_touched.get(name, 0.0), float(touched)
+                            )
                         # Optional per-entry lifecycle metadata (absent
                         # from manifests written before it existed).
                         for hexkey, meta in (spec.get("entries") or {}).items():
@@ -344,13 +459,19 @@ class ArtifactStore:
         ``$REPRO_CACHE_DIR``) will not see their segments until this is
         called.  Cheap when the concurrent-writer manifest merge kept
         the manifest complete (one JSON read); unlisted segments are
-        decoded and rescued exactly as at construction time.  Returns
-        the number of newly indexed entries.
+        decoded and rescued exactly as at construction time.  Segments
+        another process's :meth:`gc` deleted are pruned first — their
+        metadata leaves the byte accounting with them.  Returns the net
+        change in indexed entries (negative when a concurrent GC
+        removed more than new writers added).
         """
         with self._lock:
             if self.disk_dir is None or not self.disk_dir.exists():
                 return 0
             before = len(self._disk_index)
+            for filename in set(self._disk_index.values()):
+                if not (self.disk_dir / filename).exists():
+                    self._scrub_segment(filename)
             self._load_disk_index()
             return len(self._disk_index) - before
 
@@ -367,9 +488,20 @@ class ArtifactStore:
         clobbered, and ``_load_disk_index`` re-indexes any on-disk
         segment the manifest fails to mention.  No-op without a disk
         tier, in ``read_only`` mode, or with nothing dirty.
+
+        When ``max_bytes`` is configured, persisting ends with a
+        :meth:`gc` pass so the tier never outgrows its quota between
+        explicit collections.
         """
         with self._lock:
-            if self.disk_dir is None or not self._dirty:
+            if self.disk_dir is None:
+                return 0
+            if not self._dirty:
+                # Nothing to flush, but a quota-bearing store still owes
+                # the tier an enforcement pass: an earlier unbounded
+                # writer may have left it over budget.
+                if self.max_bytes is not None and not self.read_only:
+                    self.gc()
                 return 0
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             by_namespace: dict[str, dict[bytes, object]] = {}
@@ -378,44 +510,64 @@ class ArtifactStore:
             written = 0
             new_segments: dict[str, dict] = {}
             for namespace, entries in sorted(by_namespace.items()):
-                filename = self._next_segment_name(namespace)
-                scalar_keys, scalar_values, payload = [], [], {}
-                for key, value in entries.items():
-                    if isinstance(value, float):
-                        scalar_keys.append(key.hex())
-                        scalar_values.append(value)
-                    else:
-                        payload[_ARRAY_PREFIX + key.hex()] = value
-                payload[_NAMESPACE_KEY] = np.frombuffer(
-                    namespace.encode("utf-8"), dtype=np.uint8
-                )
-                if scalar_keys:
-                    payload[_SCALAR_KEYS] = np.asarray(scalar_keys)
-                    payload[_SCALAR_VALUES] = np.asarray(scalar_values, dtype=np.float64)
-                staging = self.disk_dir / (filename + ".tmp")
-                with open(staging, "wb") as handle:
-                    np.savez(handle, **payload)
-                os.replace(staging, self.disk_dir / filename)
-                hexkeys = [key.hex() for key in entries]
-                new_segments[filename] = {
-                    "namespace": namespace,
-                    "keys": hexkeys,
-                    # Per-entry lifecycle metadata (created_at + payload
-                    # bytes), stamped at put() time.  Readers that
-                    # predate it ignore the extra field, so the format
-                    # version stays 1.
-                    "entries": {
-                        hexkey: self._entry_meta[(namespace, hexkey)]
-                        for hexkey in hexkeys
-                        if (namespace, hexkey) in self._entry_meta
-                    },
-                }
-                for hexkey in hexkeys:
-                    self._disk_index[(namespace, hexkey)] = filename
+                filename, spec = self._write_segment_file(namespace, entries)
+                new_segments[filename] = spec
                 written += len(entries)
             self._write_manifest(new_segments)
             self._dirty.clear()
+            if self.max_bytes is not None and not self.read_only:
+                self.gc()
             return written
+
+    def _write_segment_file(
+        self, namespace: str, entries: dict[bytes, object]
+    ) -> tuple[str, dict]:
+        """Stage-and-replace one ``.npz`` segment; index its entries.
+
+        Returns ``(filename, manifest_spec)``.  Shared by ``persist()``
+        (dirty entries) and compaction (live entries rewritten dense);
+        the spec carries each entry's put()-time metadata so created_at
+        stamps survive rewrites.
+        """
+        filename = self._next_segment_name(namespace)
+        scalar_keys, scalar_values, payload = [], [], {}
+        for key, value in entries.items():
+            if isinstance(value, float):
+                scalar_keys.append(key.hex())
+                scalar_values.append(value)
+            else:
+                payload[_ARRAY_PREFIX + key.hex()] = value
+        payload[_NAMESPACE_KEY] = np.frombuffer(
+            namespace.encode("utf-8"), dtype=np.uint8
+        )
+        if scalar_keys:
+            payload[_SCALAR_KEYS] = np.asarray(scalar_keys)
+            payload[_SCALAR_VALUES] = np.asarray(scalar_values, dtype=np.float64)
+        staging = self.disk_dir / (filename + ".tmp")
+        with open(staging, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(staging, self.disk_dir / filename)
+        hexkeys = [key.hex() for key in entries]
+        now = time.time()
+        spec = {
+            "namespace": namespace,
+            "keys": hexkeys,
+            # Freshly written counts as freshly used for LRU purposes.
+            "last_used": now,
+            # Per-entry lifecycle metadata (created_at + payload
+            # bytes), stamped at put() time.  Readers that
+            # predate it ignore the extra field, so the format
+            # version stays 1.
+            "entries": {
+                hexkey: self._entry_meta[(namespace, hexkey)]
+                for hexkey in hexkeys
+                if (namespace, hexkey) in self._entry_meta
+            },
+        }
+        self._segment_touched[filename] = now
+        for hexkey in hexkeys:
+            self._disk_index[(namespace, hexkey)] = filename
+        return filename, spec
 
     def _next_segment_name(self, namespace: str) -> str:
         slug = "".join(c if c.isalnum() or c in "-_" else "_" for c in namespace)
@@ -425,7 +577,9 @@ class ArtifactStore:
             if not (self.disk_dir / name).exists():
                 return name
 
-    def _write_manifest(self, new_segments: dict[str, dict]) -> None:
+    def _write_manifest(
+        self, new_segments: dict[str, dict], drop: set | frozenset = frozenset()
+    ) -> None:
         manifest_path = self.disk_dir / MANIFEST_NAME
         segments: dict[str, dict] = {}
         if manifest_path.exists():  # merge concurrent writers' entries
@@ -435,17 +589,27 @@ class ArtifactStore:
                     segments = {
                         name: spec
                         for name, spec in existing.get("segments", {}).items()
-                        if (self.disk_dir / name).exists()
+                        if name not in drop and (self.disk_dir / name).exists()
                     }
             except (OSError, ValueError, KeyError, TypeError):
                 pass  # rebuilt below from what we know
         # Re-record every indexed entry whose segment the on-disk
         # manifest no longer (fully) lists — per segment, merging keys,
-        # so a rescued multi-key segment is written back whole.
+        # so a rescued multi-key segment is written back whole.  Only
+        # segments whose file still exists: re-recording one a
+        # concurrent gc() just deleted would resurrect a ghost that
+        # every later reader pays a failed open() for.
         known = {name: set(spec["keys"]) for name, spec in segments.items()}
+        alive: dict[str, bool] = {}
         for (namespace, hexkey), filename in self._disk_index.items():
-            if filename in new_segments:
+            if filename in new_segments or filename in drop:
                 continue
+            if filename not in known:
+                exists = alive.get(filename)
+                if exists is None:
+                    exists = alive[filename] = (self.disk_dir / filename).exists()
+                if not exists:
+                    continue
             spec = segments.setdefault(filename, {"namespace": namespace, "keys": []})
             keys = known.setdefault(filename, set())
             if hexkey not in keys:
@@ -454,6 +618,12 @@ class ArtifactStore:
                 meta = self._entry_meta.get((namespace, hexkey))
                 if meta is not None:
                     spec.setdefault("entries", {})[hexkey] = meta
+        # Carry our freshest touch stamps into every surviving spec so
+        # cross-process LRU order reflects actual use, not write time.
+        for name, spec in segments.items():
+            touched = self._segment_touched.get(name)
+            if touched is not None and touched > float(spec.get("last_used") or 0.0):
+                spec["last_used"] = touched
         segments.update(new_segments)
         manifest = {"format_version": _FORMAT_VERSION, "segments": segments}
         staging = manifest_path.with_suffix(".json.tmp")
@@ -479,6 +649,243 @@ class ArtifactStore:
                 if value is not _MISSING:
                     target.put(namespace, key, value)
         return target.persist()
+
+    # ------------------------------------------------------------------
+    # Lifecycle: compaction + quota-bounded GC
+    # ------------------------------------------------------------------
+    def disk_usage(self) -> int:
+        """Actual on-disk bytes of indexed segment files (the quota unit)."""
+        with self._lock:
+            return sum(self._segment_sizes().values())
+
+    def _segment_sizes(self) -> dict[str, int]:
+        """File sizes of every indexed segment (missing files count 0)."""
+        sizes: dict[str, int] = {}
+        if self.disk_dir is None:
+            return sizes
+        for filename in set(self._disk_index.values()):
+            try:
+                sizes[filename] = (self.disk_dir / filename).stat().st_size
+            except OSError:
+                sizes[filename] = 0
+        return sizes
+
+    def _entries_by_segment(self) -> dict[str, list[tuple[str, str]]]:
+        grouped: dict[str, list[tuple[str, str]]] = {}
+        for entry, filename in self._disk_index.items():
+            grouped.setdefault(filename, []).append(entry)
+        return grouped
+
+    def _segment_rank(self, filename: str, entries: list[tuple[str, str]]) -> float:
+        """Eviction order key: last-touched, else newest created_at, else mtime."""
+        touched = self._segment_touched.get(filename)
+        if touched is not None:
+            return touched
+        stamps = [
+            float((self._entry_meta.get(entry) or {}).get("created_at") or 0.0)
+            for entry in entries
+        ]
+        best = max(stamps, default=0.0)
+        if best:
+            return best
+        try:
+            return (self.disk_dir / filename).stat().st_mtime
+        except OSError:
+            return 0.0
+
+    def gc(self, target_bytes: int | None = None) -> dict:
+        """Bound the disk tier: compact sparse segments, then evict cold ones.
+
+        ``target_bytes`` defaults to the configured quota
+        (``max_bytes``); with neither set only compaction runs.
+        Eviction removes whole segments, coldest first (last-touched
+        stamps, falling back to manifest ``created_at``, then file
+        mtime), until the indexed segment files fit the target.  Each
+        removal is atomic — the file is unlinked and the manifest
+        rewritten via tmp + ``os.replace`` — and concurrent-reader
+        safe: a reader holding a stale index sees a plain miss and
+        recomputes, never a partial or wrong value.  Only segments this
+        store has indexed are touched, so a concurrent writer's
+        fresh, not-yet-indexed segments are never collected.
+
+        Raises ``RuntimeError`` on a read-only store: a serving worker
+        over a bundle's cache must never mutate it.
+        """
+        if self.read_only:
+            raise RuntimeError("read-only ArtifactStore refuses gc()")
+        with self._lock:
+            summary = {
+                "compacted_segments": 0,
+                "compacted_entries": 0,
+                "reclaimed_bytes": 0,
+                "evicted_segments": 0,
+                "evicted_entries": 0,
+                "evicted_bytes": 0,
+                "disk_bytes_before": 0,
+                "disk_bytes_after": 0,
+                "target_bytes": target_bytes if target_bytes is not None else self.max_bytes,
+            }
+            if self.disk_dir is None or not self.disk_dir.exists():
+                return summary
+            before = sum(self._segment_sizes().values())
+            summary["disk_bytes_before"] = before
+            if self.compact_ratio > 0:
+                compacted = self._compact_locked(self.compact_ratio)
+                summary.update(compacted)
+            target = summary["target_bytes"]
+            if target is not None:
+                summary.update(self._evict_locked(int(target)))
+            summary["disk_bytes_after"] = sum(self._segment_sizes().values())
+            self._lifecycle["gc_runs"] += 1
+            return summary
+
+    def _evict_locked(self, target: int) -> dict:
+        """Unlink cold indexed segments until the tier fits ``target``."""
+        grouped = self._entries_by_segment()
+        sizes = self._segment_sizes()
+        total = sum(sizes.values())
+        evicted_segments = evicted_entries = evicted_bytes = 0
+        dropped: set[str] = set()
+        order = sorted(
+            sizes, key=lambda name: (self._segment_rank(name, grouped[name]), name)
+        )
+        for filename in order:
+            if total <= target:
+                break
+            entries = self._scrub_segment(filename)
+            try:
+                (self.disk_dir / filename).unlink()
+            except OSError:
+                pass  # already gone (concurrent gc) — scrub still counts
+            total -= sizes[filename]
+            evicted_segments += 1
+            evicted_entries += len(entries)
+            evicted_bytes += sizes[filename]
+            dropped.add(filename)
+        if dropped:
+            self._write_manifest({}, drop=dropped)
+            self._lifecycle["evicted_segments"] += evicted_segments
+            self._lifecycle["evicted_entries"] += evicted_entries
+            self._lifecycle["evicted_bytes"] += evicted_bytes
+        return {
+            "evicted_segments": evicted_segments,
+            "evicted_entries": evicted_entries,
+            "evicted_bytes": evicted_bytes,
+        }
+
+    def _compact_locked(self, min_live_ratio: float) -> dict:
+        """Rewrite sparse segments dense (live entries only, bit-exact).
+
+        A segment is sparse when the payload bytes of its *live* entries
+        (the ones this store's index still maps to it) fall below
+        ``min_live_ratio`` of the payload bytes the manifest records for
+        it — duplicates superseded by other segments are the dead
+        weight.  The ratio falls back to entry counts when metadata is
+        missing.  New dense segments are written and indexed *before*
+        the sparse sources are unlinked, so a crash mid-compaction
+        leaves duplicates, never losses.  A segment any of whose
+        recorded keys this store has never indexed is left alone — its
+        liveness is unknowable (it may be a concurrent writer's fresh
+        persist, newer than our index).  Conversely a segment whose
+        *every* key is indexed in some other segment is safely
+        removable even with zero live entries: content addressing
+        guarantees the surviving copies are bit-identical.
+        """
+        result = {"compacted_segments": 0, "compacted_entries": 0, "reclaimed_bytes": 0}
+        manifest_path = self.disk_dir / MANIFEST_NAME
+        recorded: dict[str, dict] = {}
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            if manifest.get("format_version") == _FORMAT_VERSION:
+                recorded = manifest.get("segments", {})
+        except (OSError, ValueError, KeyError, TypeError):
+            return result  # no manifest, no dead-entry knowledge
+        grouped = self._entries_by_segment()
+        sparse: list[str] = []
+        for filename, spec in recorded.items():
+            namespace = spec.get("namespace")
+            keys = spec.get("keys") or []
+            if not keys or any((namespace, hexkey) not in self._disk_index for hexkey in keys):
+                continue  # unknown liveness — hands off
+            live = grouped.get(filename, [])
+            if len(live) >= len(keys):
+                continue  # fully live — dense already
+            total_b = live_b = 0.0
+            have_meta = True
+            for hexkey in keys:
+                meta = self._entry_meta.get((namespace, hexkey))
+                if meta is None:
+                    have_meta = False
+                    break
+                total_b += float(meta.get("bytes") or 0.0)
+            if have_meta and total_b > 0:
+                for entry in live:
+                    live_b += float((self._entry_meta.get(entry) or {}).get("bytes") or 0.0)
+                ratio = live_b / total_b
+            else:
+                ratio = len(live) / len(keys)
+            if ratio < min_live_ratio:
+                sparse.append(filename)
+        if not sparse:
+            return result
+        # Stat the sources directly: a fully-dead segment is not in the
+        # index, so _segment_sizes() would not account for it.
+        sizes: dict[str, int] = {}
+        for filename in sparse:
+            try:
+                sizes[filename] = (self.disk_dir / filename).stat().st_size
+            except OSError:
+                sizes[filename] = 0
+        moved: dict[str, dict[bytes, object]] = {}
+        compacted: list[str] = []
+        stamp = 0.0
+        for filename in sparse:
+            live = grouped.get(filename, [])
+            if live:  # fully-dead segments need no decode — just removal
+                decoded = self._loaded.get(filename)
+                if decoded is None:
+                    decoded = self._load_segment(filename)
+                if decoded is None:
+                    continue  # corrupt/vanished: already scrubbed
+                for entry in live:
+                    if entry not in decoded or self._disk_index.get(entry) != filename:
+                        continue
+                    namespace, hexkey = entry
+                    moved.setdefault(namespace, {})[bytes.fromhex(hexkey)] = decoded[entry]
+                stamp = max(stamp, self._segment_rank(filename, live))
+            compacted.append(filename)
+        if not compacted:
+            return result
+        new_segments: dict[str, dict] = {}
+        for namespace, entries in sorted(moved.items()):
+            filename, spec = self._write_segment_file(namespace, entries)
+            # Compaction is maintenance, not use: the dense segment
+            # inherits its sources' coldness instead of jumping to the
+            # front of the LRU order.
+            if stamp:
+                spec["last_used"] = stamp
+                self._segment_touched[filename] = stamp
+            new_segments[filename] = spec
+            result["compacted_entries"] += len(entries)
+        reclaimed = 0
+        for filename in compacted:
+            self._loaded.pop(filename, None)
+            self._segment_touched.pop(filename, None)
+            try:
+                (self.disk_dir / filename).unlink()
+            except OSError:
+                pass
+            reclaimed += sizes.get(filename, 0)
+        new_files = {
+            name: (self.disk_dir / name).stat().st_size for name in new_segments
+        }
+        self._write_manifest(new_segments, drop=set(compacted))
+        result["compacted_segments"] = len(compacted)
+        result["reclaimed_bytes"] = max(0, reclaimed - sum(new_files.values()))
+        self._lifecycle["compacted_segments"] += result["compacted_segments"]
+        self._lifecycle["compacted_entries"] += result["compacted_entries"]
+        self._lifecycle["reclaimed_bytes"] += result["reclaimed_bytes"]
+        return result
 
     # ------------------------------------------------------------------
     # Maintenance and introspection
@@ -539,6 +946,19 @@ class ArtifactStore:
             }
             totals["dirty"] = len(self._dirty)
             totals["corrupt_segments"] = self.corrupt_segments
+            # Lifecycle stanza: cumulative GC/compaction counters plus
+            # the live quota position (actual indexed file bytes, which
+            # include npz container overhead the per-entry payload
+            # accounting above does not).
+            disk_file_bytes = sum(self._segment_sizes().values())
+            lifecycle = dict(self._lifecycle)
+            lifecycle["disk_file_bytes"] = disk_file_bytes
+            lifecycle["quota_bytes"] = self.max_bytes
+            lifecycle["quota_headroom_bytes"] = (
+                self.max_bytes - disk_file_bytes if self.max_bytes is not None else None
+            )
+            lifecycle["read_only"] = self.read_only
+            totals["lifecycle"] = lifecycle
             return {"namespaces": namespaces, "totals": totals}
 
     def view(self, namespace: str, scope: bytes | str = b"") -> "StoreView":
@@ -662,58 +1082,149 @@ class StoreView:
 
 
 # ----------------------------------------------------------------------
-# Process-wide store
+# Observability
 # ----------------------------------------------------------------------
+_STORE_COLLECTOR_SOURCE = "artifact_store"
+
+
+def store_metric_samples(store: ArtifactStore):
+    """``repro_store_*`` metric samples for one store.
+
+    The single producer behind every scrape surface: the process obs
+    registry (registered by :func:`open_store`) and the serving
+    runtime's stats collector both yield from here, so hit/byte
+    counters and lifecycle telemetry stay name-identical everywhere.
+    """
+    stats = store.stats
+    for namespace, ns_stats in stats.get("namespaces", {}).items():
+        labels = {"namespace": namespace}
+        yield ("repro_store_hits_total", labels, float(ns_stats.get("hits", 0)))
+        yield ("repro_store_disk_hits_total", labels, float(ns_stats.get("disk_hits", 0)))
+        yield ("repro_store_misses_total", labels, float(ns_stats.get("misses", 0)))
+        yield ("repro_store_memory_bytes", labels, float(ns_stats.get("memory_bytes", 0)))
+        yield ("repro_store_disk_bytes", labels, float(ns_stats.get("disk_bytes", 0)))
+    lifecycle = stats.get("totals", {}).get("lifecycle", {})
+    for field, name in (
+        ("gc_runs", "repro_store_gc_runs_total"),
+        ("evicted_segments", "repro_store_evicted_segments_total"),
+        ("evicted_entries", "repro_store_evicted_entries_total"),
+        ("evicted_bytes", "repro_store_evicted_bytes_total"),
+        ("compacted_segments", "repro_store_compacted_segments_total"),
+        ("compacted_entries", "repro_store_compacted_entries_total"),
+        ("reclaimed_bytes", "repro_store_compaction_reclaimed_bytes_total"),
+        ("disk_file_bytes", "repro_store_disk_file_bytes"),
+    ):
+        yield (name, {}, float(lifecycle.get(field) or 0))
+    if lifecycle.get("quota_bytes") is not None:
+        yield ("repro_store_quota_bytes", {}, float(lifecycle["quota_bytes"]))
+        yield (
+            "repro_store_quota_headroom_bytes",
+            {},
+            float(lifecycle["quota_headroom_bytes"]),
+        )
+
+
+def _register_store_collector(store: ArtifactStore) -> None:
+    # Replace-by-source: re-opening the store re-points the collector,
+    # so the registry always scrapes the live process store.
+    from ..obs.metrics import global_registry
+
+    global_registry().register_collector(
+        _STORE_COLLECTOR_SOURCE, lambda: store_metric_samples(store)
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-wide store: StoreConfig + open_store / active_store
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class StoreConfig:
+    """Everything needed to open an :class:`ArtifactStore`.
+
+    The one configuration surface for the store: CLIs build one from
+    the shared cache flags (:func:`add_cache_arguments` /
+    :func:`store_config_from_args`), programs construct one directly,
+    and :meth:`from_env` fills unset fields from ``$REPRO_CACHE_DIR`` /
+    ``$REPRO_CACHE_MAX_BYTES`` / ``$REPRO_CACHE_MEMORY_ITEMS``.
+    """
+
+    disk_dir: str | Path | None = None
+    max_bytes: int | None = None
+    memory_items: int | dict | None = None
+    max_loaded_segments: int = 8
+    read_only: bool = False
+    compact_ratio: float = 0.5
+
+    @classmethod
+    def from_env(cls, **overrides) -> "StoreConfig":
+        """Environment-backed config; non-``None`` overrides win."""
+        fields: dict = {
+            "disk_dir": os.environ.get(CACHE_DIR_ENV) or None,
+            "max_bytes": parse_byte_size(os.environ.get(CACHE_MAX_BYTES_ENV) or None),
+            "memory_items": (
+                int(os.environ[CACHE_MEMORY_ITEMS_ENV])
+                if os.environ.get(CACHE_MEMORY_ITEMS_ENV)
+                else None
+            ),
+        }
+        fields.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**fields)
+
+    def build(self) -> ArtifactStore:
+        """A fresh store with these settings (not installed process-wide)."""
+        return ArtifactStore(
+            maxsize=self.memory_items,
+            disk_dir=self.disk_dir,
+            max_loaded_segments=self.max_loaded_segments,
+            read_only=self.read_only,
+            max_bytes=self.max_bytes,
+            compact_ratio=self.compact_ratio,
+        )
+
+
 _process_store: ArtifactStore | None = None
 _process_lock = threading.Lock()
 
 
-def configure_store(
-    disk_dir: str | Path | None = None,
-    maxsize: int | dict | None = None,
-    store: ArtifactStore | None = None,
+def open_store(
+    config: StoreConfig | None = None, *, store: ArtifactStore | None = None
 ) -> ArtifactStore:
-    """Install the process-wide store (replacing any existing one)."""
-    global _process_store
-    with _process_lock:
-        _process_store = store if store is not None else ArtifactStore(
-            maxsize=maxsize, disk_dir=disk_dir
-        )
-        return _process_store
+    """Install the process-wide store (replacing any existing one).
 
-
-def get_store() -> ArtifactStore:
-    """The process-wide store, created on first use.
-
-    A fresh store picks its disk tier up from ``$REPRO_CACHE_DIR`` (no
-    disk tier when unset).  The directory is read once — reconfigure
-    explicitly via :func:`configure_store` to move it.
+    ``config=None`` opens from the environment
+    (:meth:`StoreConfig.from_env`); pass ``store=`` to adopt an
+    already-built instance.  Registers the ``repro_store_*`` collector
+    on the process obs registry, so lifecycle telemetry is scrapeable
+    wherever metrics are.
     """
     global _process_store
     with _process_lock:
-        if _process_store is None:
-            _process_store = ArtifactStore(disk_dir=os.environ.get(CACHE_DIR_ENV) or None)
-        return _process_store
+        if store is None:
+            store = (config if config is not None else StoreConfig.from_env()).build()
+        _process_store = store
+        _register_store_collector(store)
+        return store
 
 
-def store_active() -> bool:
-    """Whether cross-fit caching is opted into for this process."""
-    return _process_store is not None or bool(os.environ.get(CACHE_DIR_ENV))
+def active_store(flag: bool | None = None) -> ArtifactStore | None:
+    """The process-wide store, honouring the three-state opt-in flag.
 
-
-def resolve_store(flag: bool | None = None) -> ArtifactStore | None:
-    """Map a three-state config flag to a store (or per-fit isolation).
-
-    Falsy (but not ``None``) → ``None`` (private per-fit caches, the
-    default behaviour); truthy → the process store, creating it if
-    needed; ``None`` → the process store only when the process has
-    opted in (``$REPRO_CACHE_DIR`` set or :func:`configure_store`
-    called).  Truthiness rather than identity, so an accidental ``0``
-    or ``1`` forces isolation or sharing as the caller plainly meant.
+    ``None`` (default) → the installed store; when none is installed,
+    one is opened from the environment only if ``$REPRO_CACHE_DIR``
+    opts in, else ``None`` (per-fit isolation).  Truthy → the installed
+    store, opening one (memory-only without an environment opt-in) if
+    needed — never ``None``.  Falsy-but-not-``None`` → ``None``.
+    Truthiness rather than identity, so an accidental ``0`` or ``1``
+    forces isolation or sharing as the caller plainly meant.
     """
-    if flag is None:
-        return get_store() if store_active() else None
-    return get_store() if flag else None
+    if flag is not None and not flag:
+        return None
+    global _process_store
+    with _process_lock:
+        if _process_store is None and (flag or os.environ.get(CACHE_DIR_ENV)):
+            _process_store = StoreConfig.from_env().build()
+            _register_store_collector(_process_store)
+        return _process_store
 
 
 def reset_store() -> None:
@@ -721,6 +1232,118 @@ def reset_store() -> None:
     global _process_store
     with _process_lock:
         _process_store = None
+        try:
+            from ..obs.metrics import global_registry
+
+            global_registry().unregister_collector(_STORE_COLLECTOR_SOURCE)
+        except Exception:  # noqa: BLE001 — teardown must not raise
+            pass
+
+
+# ----------------------------------------------------------------------
+# Shared CLI surface
+# ----------------------------------------------------------------------
+def add_cache_arguments(parser) -> None:
+    """Uniform cache flags for every CLI entry point.
+
+    One helper shared by ``python -m repro.experiments``,
+    ``python -m repro.serving`` and ``python -m repro.streaming``;
+    every flag is environment-backed so a fleet can be configured once
+    via ``$REPRO_CACHE_DIR`` / ``$REPRO_CACHE_MAX_BYTES`` /
+    ``$REPRO_CACHE_MEMORY_ITEMS`` and overridden per-invocation.
+    """
+    group = parser.add_argument_group("artifact cache")
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="enable the cross-fit artifact store with a disk tier at this "
+        f"directory (default: ${CACHE_DIR_ENV}); DTW pairs, masked "
+        "adjacencies and served windows are reused bit-exactly across "
+        "fits, runs and processes",
+    )
+    group.add_argument(
+        "--cache-max-bytes",
+        default=None,
+        type=parse_byte_size,
+        metavar="BYTES",
+        help="disk-tier byte quota with K/M/G/T suffixes, e.g. 512M "
+        f"(default: ${CACHE_MAX_BYTES_ENV}); persist() and gc() evict whole "
+        "least-recently-used segments until the tier fits",
+    )
+    group.add_argument(
+        "--cache-memory-items",
+        default=None,
+        type=int,
+        metavar="N",
+        help="memory-tier entries kept per namespace "
+        f"(default: ${CACHE_MEMORY_ITEMS_ENV}, else built-in per-namespace depths)",
+    )
+
+
+def store_config_from_args(args) -> StoreConfig | None:
+    """The parsed cache flags as an env-backed :class:`StoreConfig`.
+
+    ``None`` when neither the flags nor the environment opt into
+    anything — callers then keep their default behaviour (no store, or
+    a bundle-provided one).
+    """
+    config = StoreConfig.from_env(
+        disk_dir=getattr(args, "cache_dir", None),
+        max_bytes=getattr(args, "cache_max_bytes", None),
+        memory_items=getattr(args, "cache_memory_items", None),
+    )
+    if config.disk_dir is None and config.max_bytes is None and config.memory_items is None:
+        return None
+    return config
+
+
+# ----------------------------------------------------------------------
+# Deprecated wiring shims (pre-PR 10 four-function surface)
+# ----------------------------------------------------------------------
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.engine.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def configure_store(
+    disk_dir: str | Path | None = None,
+    maxsize: int | dict | None = None,
+    store: ArtifactStore | None = None,
+) -> ArtifactStore:
+    """Deprecated: use :func:`open_store` with a :class:`StoreConfig`."""
+    _warn_deprecated("configure_store()", "open_store(StoreConfig(...))")
+    if store is not None:
+        return open_store(store=store)
+    return open_store(
+        StoreConfig(
+            disk_dir=disk_dir,
+            memory_items=maxsize,
+            max_bytes=parse_byte_size(os.environ.get(CACHE_MAX_BYTES_ENV) or None),
+        )
+    )
+
+
+def get_store() -> ArtifactStore:
+    """Deprecated: use ``active_store(True)``."""
+    _warn_deprecated("get_store()", "active_store(True)")
+    return active_store(True)
+
+
+def store_active() -> bool:
+    """Deprecated: use ``active_store() is not None``."""
+    _warn_deprecated("store_active()", "active_store() is not None")
+    with _process_lock:
+        installed = _process_store is not None
+    return installed or bool(os.environ.get(CACHE_DIR_ENV))
+
+
+def resolve_store(flag: bool | None = None) -> ArtifactStore | None:
+    """Deprecated: use :func:`active_store`."""
+    _warn_deprecated("resolve_store()", "active_store(flag)")
+    return active_store(flag)
 
 
 def default_store_scope(forecaster) -> bytes | None:

@@ -64,11 +64,6 @@ def main(argv: list[str] | None = None) -> int:
                              "means all CPU cores (default: $REPRO_SWEEP_JOBS "
                              "or serial).  Parallel metrics are bit-identical "
                              "to serial — see repro.experiments.parallel")
-    parser.add_argument("--cache-dir", default=None,
-                        help="enable the cross-fit artifact store with a disk tier "
-                             "at this directory (same as setting REPRO_CACHE_DIR): "
-                             "sweeps reuse DTW pairs, masked adjacencies and served "
-                             "windows across fits and across runs, bit-exactly")
     parser.add_argument("--service", action="store_true",
                         help="route test predictions through the batched/cached "
                              "ForecastService (experiments that support it)")
@@ -84,6 +79,9 @@ def main(argv: list[str] | None = None) -> int:
                              "concurrent traffic over an in-process HTTP "
                              "server and report Wire-prefixed "
                              "throughput/latency columns")
+    from ..engine import add_cache_arguments
+
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.backend is not None or args.device is not None or args.dtype is not None:
@@ -91,10 +89,11 @@ def main(argv: list[str] | None = None) -> int:
 
         set_backend(resolve_backend(args.backend, args.device, args.dtype))
 
-    if args.cache_dir is not None:
-        from ..engine import configure_store
+    from ..engine import open_store, store_config_from_args
 
-        configure_store(disk_dir=args.cache_dir)
+    cache_config = store_config_from_args(args)
+    if cache_config is not None:
+        open_store(cache_config)
 
     if args.jobs is not None:
         # Environment-level default: every run_matrix call in the chosen

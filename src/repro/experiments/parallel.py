@@ -23,7 +23,7 @@ state):
 * the parent's active array backend (name + device + dtype) is re-
   resolved in each worker via :func:`repro.backend.resolve_backend`;
 * the parent's :class:`~repro.engine.ArtifactStore` disk tier (if any)
-  is re-opened in each worker via ``configure_store``, so all workers
+  is re-opened in each worker via ``open_store``, so all workers
   share one ``$REPRO_CACHE_DIR``-style directory: fits persist their DTW
   pairs and masked adjacencies as they finish (the PR 5 concurrent-
   writer manifest merge makes this safe), and every cell refreshes its
@@ -184,7 +184,7 @@ def _parent_specs(store) -> tuple[dict | None, dict | None]:
 
     Environment variables travel to ``spawn`` children on their own; this
     covers in-process configuration (``set_backend`` /
-    ``configure_store`` calls, e.g. from the ``--backend`` and
+    ``open_store`` calls, e.g. from the ``--backend`` and
     ``--cache-dir`` CLI flags) that would otherwise be lost.
     """
     from ..backend import get_backend
@@ -201,6 +201,11 @@ def _parent_specs(store) -> tuple[dict | None, dict | None]:
     if store is not None:
         store_spec = {
             "disk_dir": str(store.disk_dir) if store.disk_dir is not None else None,
+            # Workers enforce the same quota as the parent so a shared
+            # tier stays bounded even mid-sweep (their persist-time gc
+            # only evicts segments they have indexed themselves).
+            "max_bytes": store.max_bytes,
+            "compact_ratio": store.compact_ratio,
         }
     return backend_spec, store_spec
 
@@ -223,9 +228,15 @@ def _init_worker(backend_spec: dict | None, store_spec: dict | None) -> None:
             )
         )
     if store_spec is not None:
-        from ..engine import configure_store
+        from ..engine import StoreConfig, open_store
 
-        configure_store(disk_dir=store_spec["disk_dir"])
+        open_store(
+            StoreConfig(
+                disk_dir=store_spec["disk_dir"],
+                max_bytes=store_spec.get("max_bytes"),
+                compact_ratio=store_spec.get("compact_ratio", 0.5),
+            )
+        )
 
 
 def _run_cell(payload: dict) -> dict:
@@ -235,11 +246,11 @@ def _run_cell(payload: dict) -> dict:
     ``{"ok": False, ...structured error}`` so Python-level failures stay
     per-cell instead of poisoning the pool.
     """
-    from ..engine import resolve_store
+    from ..engine import active_store
     from .runners import evaluate_cell
 
     try:
-        store = resolve_store(payload["cache_store"])
+        store = active_store(payload["cache_store"])
         if store is not None and store.disk_dir is not None:
             # Pick up segments other workers persisted since our index
             # was built, so concurrent cells reuse each other's DTW
@@ -434,6 +445,12 @@ def execute_matrix(
         # Make the workers' persisted artifacts visible to later fits in
         # this (parent) process without a restart.
         store.refresh_disk_index()
+        if store.max_bytes is not None and not store.read_only:
+            # Sweep-end collection over the *merged* index: with the
+            # whole tier visible, the parent can compact duplicate
+            # segments concurrent workers wrote and enforce the shared
+            # quota across all of them.
+            store.gc()
     if failures:
         failures.sort(key=lambda f: (f.model_name, f.split_index, f.seed))
         raise SweepCellError(failures, completed)

@@ -188,7 +188,7 @@ def run_matrix(
 
     ``cache_store`` controls cross-fit artifact reuse through the
     process-wide :class:`~repro.engine.ArtifactStore`: ``None`` follows
-    the process opt-in (``$REPRO_CACHE_DIR`` / ``configure_store``),
+    the process opt-in (``$REPRO_CACHE_DIR`` / ``open_store``),
     ``True``/``False`` force it on or off for this sweep.  With the
     store active, STSM fits share DTW pairs and masked adjacencies
     across seeds and hyper-parameters, served test windows are reused
@@ -214,10 +214,10 @@ def run_matrix(
     Returns ``{model_name: {"metrics": Metrics, "results": [...],
     "train_seconds": float, "test_seconds": float}}``.
     """
-    from ..engine import resolve_store  # local import: keep runners light
+    from ..engine import active_store  # local import: keep runners light
     from .parallel import execute_matrix, resolve_jobs
 
-    store = resolve_store(cache_store)
+    store = active_store(cache_store)
     splits = splits if splits is not None else splits_for(dataset, scale)
     spec = scale.window_spec(dataset_key)
     seed_list = tuple(seeds) if seeds is not None else (seed,)

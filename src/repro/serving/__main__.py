@@ -19,6 +19,8 @@ import argparse
 import json
 import sys
 
+from ..engine import add_cache_arguments
+
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("serve", help="serve a checkpoint bundle over HTTP")
@@ -56,6 +58,11 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                         "(cpu, cuda, cuda:N)")
     p.add_argument("--dtype", default=None, choices=("float32", "float64"),
                    help="compute dtype override for accelerator backends")
+    # Shared cache surface: --cache-dir overrides the bundle's own
+    # cache/ tier; workers always open it read-only (never GC), so
+    # --cache-max-bytes is accepted for CLI uniformity but quota
+    # enforcement belongs to whichever writer owns the tier.
+    add_cache_arguments(p)
 
 
 def _add_demo_bundle(sub: argparse._SubParsersAction) -> None:
@@ -109,6 +116,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         device=args.device,
         dtype=args.dtype,
+        cache_dir=args.cache_dir,
+        cache_memory_items=args.cache_memory_items,
     )
     print(f"[serving] bundle={args.checkpoint_dir} workers={args.workers} "
           f"port={args.port} (SIGTERM drains gracefully)")
@@ -121,7 +130,7 @@ def _cmd_demo_bundle(args: argparse.Namespace) -> int:
     from ..core import STSMConfig, STSMForecaster
     from ..data import WindowSpec, space_split, temporal_split
     from ..data.synthetic import make_dataset
-    from ..engine import ArtifactStore, configure_store
+    from ..engine import ArtifactStore, open_store
     from ..evaluation import forecast_window_starts
     from .service import ForecastService
     from .transport import BundleEntry, save_bundle
@@ -132,7 +141,7 @@ def _cmd_demo_bundle(args: argparse.Namespace) -> int:
     # the warm-up forecast blocks — but never the contents of a
     # pre-existing $REPRO_CACHE_DIR tier, which would bloat the bundle
     # with every unrelated past fit's artifacts.
-    store = configure_store(store=ArtifactStore()) if args.with_cache else None
+    store = open_store(store=ArtifactStore()) if args.with_cache else None
     entries: dict[str, BundleEntry] = {}
     for offset, name in enumerate(args.datasets):
         seed = args.seed + offset

@@ -460,17 +460,12 @@ class ServingRuntime:
         for key, count in swap_counts.items():
             yield ("repro_swaps_total", {"model": key}, count)
         if store is not None:
+            # One shared producer for every repro_store_* surface (hit
+            # and byte counters plus PR 10 lifecycle telemetry) — the
+            # process registry's collector yields the same names.
+            from ..engine.store import store_metric_samples
+
             try:
-                namespaces = store.stats.get("namespaces", {})
+                yield from store_metric_samples(store)
             except Exception:  # noqa: BLE001 — scrape must not fail
-                namespaces = {}
-            for namespace, ns in namespaces.items():
-                labels = {"namespace": namespace}
-                yield ("repro_store_hits_total", labels, ns.get("hits", 0))
-                yield ("repro_store_disk_hits_total", labels,
-                       ns.get("disk_hits", 0))
-                yield ("repro_store_misses_total", labels, ns.get("misses", 0))
-                yield ("repro_store_memory_bytes", labels,
-                       ns.get("memory_bytes", 0))
-                yield ("repro_store_disk_bytes", labels,
-                       ns.get("disk_bytes", 0))
+                pass

@@ -246,6 +246,13 @@ class ServeConfig:
     backend: str | None = None
     device: str | None = None
     dtype: str | None = None
+    #: Artifact-store overrides (the shared ``--cache-*`` flag surface).
+    #: ``cache_dir`` points workers at a disk tier other than the
+    #: bundle's own ``cache/``; ``cache_memory_items`` bounds the
+    #: memory tier.  Either way the store opens read-only — a serving
+    #: worker must never mutate (or GC) a tier it does not own.
+    cache_dir: str | None = None
+    cache_memory_items: int | None = None
 
     def resolved_state_dir(self) -> Path:
         return Path(self.state_dir) if self.state_dir else Path(self.checkpoint_dir)
@@ -267,11 +274,21 @@ def _build_runtime(config: ServeConfig) -> tuple[ServingRuntime, dict[str, list[
         device=config.device,
         dtype=config.dtype,
     )
-    cache_dir = bundle_cache_dir(config.checkpoint_dir)
+    cache_dir = (
+        config.cache_dir
+        if config.cache_dir is not None
+        else bundle_cache_dir(config.checkpoint_dir)
+    )
     # read_only: a serving worker must neither mutate the shared bundle
-    # nor accumulate an ever-growing dirty buffer it never persists.
+    # nor accumulate an ever-growing dirty buffer it never persists —
+    # and a read-only store refuses gc() outright, so no quota can ever
+    # reap a tier some other process owns.
     store = (
-        ArtifactStore(disk_dir=cache_dir, read_only=True)
+        ArtifactStore(
+            maxsize=config.cache_memory_items,
+            disk_dir=cache_dir,
+            read_only=True,
+        )
         if cache_dir is not None
         else None
     )

@@ -65,6 +65,13 @@ def _add_serve_live(sub: argparse._SubParsersAction) -> None:
                         "(default: in-process runtime)")
     p.add_argument("--probes", type=int, default=4,
                    help="forecast probes issued after each swap")
+    # Shared cache surface: with --cache-dir (or $REPRO_CACHE_DIR) the
+    # refit artifacts persist across runs, and --cache-max-bytes keeps
+    # the long-running tier bounded (the scheduler GCs after each
+    # refit's persist).
+    from ..engine import add_cache_arguments
+
+    add_cache_arguments(p)
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -95,7 +102,7 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
     from ..core import STSMConfig
     from ..data import WindowSpec, space_split
     from ..data.synthetic import make_dataset
-    from ..engine import ArtifactStore, reset_store
+    from ..engine import ArtifactStore, reset_store, store_config_from_args
     from ..serving import ServingRuntime
     from . import FeedReplayer, LiveSwapBridge, RefitPolicy, RefitScheduler, StreamBuffer
 
@@ -124,7 +131,10 @@ def _cmd_serve_live(args: argparse.Namespace) -> int:
     buffer = StreamBuffer(dataset)
     replayer = FeedReplayer(dataset, buffer, speedup=args.speedup,
                             seed=args.seed, stop_step=last_trigger)
-    store = ArtifactStore()
+    cache_config = store_config_from_args(args)
+    # Cache flags (or env) opt into a persistent, quota-bounded tier;
+    # the default stays a private in-memory store for this run.
+    store = cache_config.build() if cache_config is not None else ArtifactStore()
     runtime = ServingRuntime(deadline_ms=1.0)
     bridge = LiveSwapBridge(runtime, key, store=store)
     scheduler = RefitScheduler(buffer, config, split, spec, policy,

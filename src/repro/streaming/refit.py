@@ -46,7 +46,7 @@ from ..core.config import STSMConfig
 from ..core.model import STSMForecaster
 from ..data.splits import SpaceSplit
 from ..data.windows import WindowSpec
-from ..engine import ArtifactStore, EarlyStopping, configure_store
+from ..engine import ArtifactStore, EarlyStopping, open_store
 from ..obs.trace import (
     TraceContext,
     get_recorder,
@@ -112,6 +112,8 @@ class RefitRecord:
     data_ready_monotonic: float
     fitted_monotonic: float
     store_entries_refreshed: int = 0
+    store_entries_persisted: int = 0
+    store_segments_evicted: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -129,6 +131,8 @@ class RefitRecord:
             "best_val_rmse": self.best_val_rmse,
             "fit_lag_seconds": self.fit_lag_seconds,
             "store_entries_refreshed": self.store_entries_refreshed,
+            "store_entries_persisted": self.store_entries_persisted,
+            "store_segments_evicted": self.store_segments_evicted,
             **self.extra,
         }
 
@@ -190,7 +194,7 @@ class RefitScheduler:
         )
         self.store = store
         if store is not None:
-            configure_store(store=store)
+            open_store(store=store)
         self.records: list[RefitRecord] = []
         self.model: STSMForecaster | None = None
 
@@ -291,6 +295,33 @@ class RefitScheduler:
                 "refit.fit", root, fit_began, time.monotonic(),
                 index=index, epochs=report.epochs,
             )
+        # Stamp fit completion before store maintenance: the refit-lag
+        # clock measures data → model-ready, not disk housekeeping.
+        fitted_stamp = time.monotonic()
+        persisted = evicted = 0
+        if (
+            self.store is not None
+            and self.store.disk_dir is not None
+            and not self.store.read_only
+        ):
+            # A long-running deployment must not grow the tier without
+            # bound: flush this refit's artifacts and let the quota
+            # (when configured) collect cold segments.  persist() runs
+            # the gc pass itself; a refit that computed nothing new
+            # still gets an explicit one.
+            gc_began = time.monotonic()
+            lifecycle = self.store.stats["totals"]["lifecycle"]
+            before_evicted = lifecycle["evicted_segments"]
+            persisted = self.store.persist()
+            if persisted == 0 and self.store.max_bytes is not None:
+                self.store.gc()
+            lifecycle = self.store.stats["totals"]["lifecycle"]
+            evicted = lifecycle["evicted_segments"] - before_evicted
+            if root is not None:
+                record_span(
+                    "refit.gc", root, gc_began, time.monotonic(),
+                    persisted=persisted, evicted_segments=evicted,
+                )
             recorder.record({
                 "trace": root.trace_id,
                 "span": root.span_id,
@@ -311,8 +342,10 @@ class RefitScheduler:
             best_val_rmse=float(report.extra.get("best_val_rmse", float("nan"))),
             checkpoint_dir=str(self.checkpoint_dir(index)),
             data_ready_monotonic=data_ready,
-            fitted_monotonic=time.monotonic(),
+            fitted_monotonic=fitted_stamp,
             store_entries_refreshed=refreshed,
+            store_entries_persisted=persisted,
+            store_segments_evicted=evicted,
         )
         if root is not None:
             # The bridge parents its refit.swap span here when the

@@ -10,13 +10,14 @@ import pytest
 
 from repro.engine import (
     CACHE_DIR_ENV,
+    CACHE_MAX_BYTES_ENV,
     ArtifactStore,
+    StoreConfig,
+    active_store,
     array_key,
-    configure_store,
-    get_store,
+    open_store,
+    parse_byte_size,
     reset_store,
-    resolve_store,
-    store_active,
 )
 from repro.engine.store import MANIFEST_NAME
 
@@ -248,26 +249,48 @@ class TestProcessStore:
         reset_store()
 
     def test_inactive_by_default(self):
-        assert not store_active()
-        assert resolve_store(None) is None
-        assert resolve_store(False) is None
+        assert active_store() is None
+        assert active_store(False) is None
 
     def test_env_var_activates_disk_store(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
-        assert store_active()
-        store = resolve_store(None)
+        store = active_store(None)
         assert store is not None and store.disk_dir == tmp_path
 
     def test_true_forces_memory_store(self):
-        store = resolve_store(True)
+        store = active_store(True)
         assert store is not None and store.disk_dir is None
-        assert resolve_store(None) is store  # now active process-wide
+        assert active_store(None) is store  # now active process-wide
 
-    def test_configure_and_get_share_instance(self, tmp_path):
-        configured = configure_store(disk_dir=tmp_path)
-        assert get_store() is configured
-        assert resolve_store(None) is configured
-        assert resolve_store(False) is None  # explicit off still wins
+    def test_open_and_active_share_instance(self, tmp_path):
+        opened = open_store(StoreConfig(disk_dir=tmp_path))
+        assert active_store(True) is opened
+        assert active_store(None) is opened
+        assert active_store(False) is None  # explicit off still wins
+
+    def test_env_quota_flows_into_opened_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "2M")
+        store = active_store(None)
+        assert store is not None and store.max_bytes == 2 << 20
+
+    def test_from_env_overrides_win(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "/elsewhere")
+        config = StoreConfig.from_env(disk_dir=str(tmp_path), max_bytes=1024)
+        assert config.disk_dir == str(tmp_path)
+        assert config.max_bytes == 1024
+
+    def test_parse_byte_size(self):
+        assert parse_byte_size("1024") == 1024
+        assert parse_byte_size("512K") == 512 << 10
+        assert parse_byte_size("512MB") == 512 << 20
+        assert parse_byte_size("1.5g") == int(1.5 * (1 << 30))
+        assert parse_byte_size(None) is None
+        assert parse_byte_size(42) == 42
+        with pytest.raises(ValueError):
+            parse_byte_size("lots")
+        with pytest.raises(ValueError):
+            parse_byte_size("-1")
 
 
 class TestReviewRegressions:
@@ -370,16 +393,14 @@ class TestReviewRegressions:
         b.config = _Cfg(hidden=16, cache_store=None)  # real change still splits
         assert default_store_scope(a) != default_store_scope(b)
 
-    def test_resolve_store_treats_integers_by_truthiness(self, tmp_path, monkeypatch):
-        """resolve_store(0) must force isolation even when the process
+    def test_active_store_treats_integers_by_truthiness(self, tmp_path, monkeypatch):
+        """active_store(0) must force isolation even when the process
         has opted in — identity-vs-equality mismatches are not allowed
         to leak artifacts into the shared cache."""
-        import os
-
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
         reset_store()
-        assert resolve_store(0) is None
-        assert resolve_store(1) is not None
+        assert active_store(0) is None
+        assert active_store(1) is not None
         reset_store()
 
     def test_config_rejects_integer_cache_store(self):

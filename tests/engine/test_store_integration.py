@@ -17,7 +17,13 @@ import pytest
 from repro.core import STSMConfig, STSMForecaster
 from repro.data import WindowSpec, space_split, temporal_split
 from repro.data.synthetic import make_pems_bay
-from repro.engine import ArtifactStore, CACHE_DIR_ENV, configure_store, reset_store
+from repro.engine import (
+    ArtifactStore,
+    CACHE_DIR_ENV,
+    StoreConfig,
+    open_store,
+    reset_store,
+)
 from repro.evaluation import forecast_window_starts
 
 
@@ -52,14 +58,14 @@ def _fit(seed: int, cache_store: bool) -> dict:
 class TestCrossFitParity:
     def test_store_enabled_metrics_bitwise_identical(self):
         baseline = [_fit(seed, False) for seed in (0, 1)]
-        store = configure_store()
+        store = open_store()
         warm = [_fit(seed, True) for seed in (0, 1)]
         assert warm == baseline
         totals = store.stats["totals"]
         assert totals["hits"] > 0  # the second fit actually reused pairs
 
     def test_second_fit_hits_store(self):
-        store = configure_store()
+        store = open_store()
         _fit(0, True)
         after_first = store.stats["totals"]["hits"]
         _fit(1, True)
@@ -67,13 +73,13 @@ class TestCrossFitParity:
 
     def test_cold_start_from_disk_identical_and_hot(self, tmp_path):
         baseline = _fit(0, False)
-        configure_store(disk_dir=tmp_path)
+        open_store(StoreConfig(disk_dir=tmp_path))
         warm = _fit(0, True)
         assert warm == baseline
 
         # "New process": fresh store object, only the disk tier survives.
         reset_store()
-        cold_store = configure_store(store=ArtifactStore(disk_dir=tmp_path))
+        cold_store = open_store(store=ArtifactStore(disk_dir=tmp_path))
         cold = _fit(0, True)
         assert cold == baseline
         totals = cold_store.stats["totals"]
@@ -97,7 +103,7 @@ class TestCrossFitParity:
 class TestHyperparameterSweepReuse:
     def test_unrelated_hyperparameter_change_still_reuses_pairs(self):
         """DTW pairs depend on data, not on e.g. the contrastive weight."""
-        store = configure_store()
+        store = open_store()
         dataset = make_pems_bay(num_sensors=14, num_days=1, seed=3)
         split = space_split(dataset.coords, "horizontal")
         spec = WindowSpec(input_length=6, horizon=6)

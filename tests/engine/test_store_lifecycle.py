@@ -1,0 +1,361 @@
+"""Store lifecycle suite: quota GC, compaction, accounting, API shims.
+
+The PR 10 contract under test: a quota-bounded disk tier stays
+bit-exact — a surviving hit returns the identical bytes, an evicted
+entry is a plain miss that recomputes, and concurrent readers racing a
+GC see hit-or-miss, never corruption.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CACHE_DIR_ENV,
+    ArtifactStore,
+    StoreConfig,
+    active_store,
+    array_key,
+    open_store,
+    reset_store,
+    store_metric_samples,
+)
+from repro.engine.store import MANIFEST_NAME
+
+
+def _key(*parts) -> bytes:
+    return array_key(*parts)
+
+
+def _fill(store: ArtifactStore, count: int, *, namespace="mask_fill", shape=(64, 64),
+          persist_each=True, tag="") -> None:
+    """Write ``count`` distinct array entries, one segment per persist."""
+    for i in range(count):
+        store.put(namespace, _key(tag, i), np.full(shape, float(i)))
+        if persist_each:
+            store.persist()
+
+
+class TestQuotaEviction:
+    def test_explicit_gc_enforces_target(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        _fill(store, 4)
+        total = store.disk_usage()
+        summary = store.gc(target_bytes=total // 2)
+        assert summary["evicted_segments"] >= 1
+        assert store.disk_usage() <= total // 2
+        assert summary["disk_bytes_after"] <= total // 2
+
+    def test_persist_time_gc_keeps_tier_under_quota(self, tmp_path):
+        probe = ArtifactStore(disk_dir=tmp_path)
+        _fill(probe, 1)
+        segment_bytes = probe.disk_usage()
+        reset_store()
+        quota = int(segment_bytes * 2.5)  # room for two segments, not four
+        store = ArtifactStore(disk_dir=tmp_path, max_bytes=quota)
+        _fill(store, 4, tag="quota")
+        assert store.disk_usage() <= quota
+        lifecycle = store.stats["totals"]["lifecycle"]
+        assert lifecycle["evicted_segments"] >= 1
+        assert lifecycle["quota_bytes"] == quota
+        assert lifecycle["quota_headroom_bytes"] >= 0
+
+    def test_lru_order_spares_recently_touched_segment(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        _fill(store, 3)
+        time.sleep(0.01)
+        store.clear_memory()
+        assert store.get("mask_fill", _key("", 0)) is not None  # touch oldest
+        total = store.disk_usage()
+        store.gc(target_bytes=total // 2)
+        store.clear_memory()
+        # The touched (otherwise-oldest) segment survived; an untouched
+        # older one did not.
+        assert store.get("mask_fill", _key("", 0)) is not None
+        assert store.get("mask_fill", _key("", 1)) is None
+
+    def test_evicted_entry_is_miss_then_bitwise_identical_recompute(self, tmp_path):
+        rng = np.random.default_rng(7)
+        value = rng.standard_normal((32, 32))
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("mask_fill", _key("v"), value)
+        store.persist()
+        store.gc(target_bytes=0)  # evict everything
+        store.clear_memory()
+        assert store.get("mask_fill", _key("v")) is None  # miss, not garbage
+        recomputed = store.get_or_compute("mask_fill", _key("v"), lambda: value.copy())
+        assert recomputed.tobytes() == value.tobytes()
+
+    def test_surviving_hit_is_byte_identical_after_gc(self, tmp_path):
+        rng = np.random.default_rng(11)
+        keep = rng.standard_normal((32, 32))
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("mask_fill", _key("keep"), keep)
+        store.persist()
+        time.sleep(0.01)
+        _fill(store, 2, tag="churn")
+        store.clear_memory()
+        assert store.get("mask_fill", _key("keep")) is not None  # freshen
+        store.gc(target_bytes=int(store.disk_usage() * 0.6))
+        store.clear_memory()
+        survivor = store.get("mask_fill", _key("keep"))
+        assert survivor is not None and survivor.tobytes() == keep.tobytes()
+
+    def test_read_only_store_refuses_gc(self, tmp_path):
+        writer = ArtifactStore(disk_dir=tmp_path)
+        _fill(writer, 1)
+        bundle = ArtifactStore(disk_dir=tmp_path, read_only=True)
+        with pytest.raises(RuntimeError, match="read-only"):
+            bundle.gc()
+        # persist() with a quota must not sneak a gc in either.
+        bundle.put("mask_fill", _key("fresh"), np.ones(2))
+        assert bundle.persist() == 0
+        assert writer.disk_usage() > 0
+
+    def test_gc_leaves_unindexed_foreign_segments_alone(self, tmp_path):
+        ours = ArtifactStore(disk_dir=tmp_path)
+        _fill(ours, 1, tag="ours")
+        theirs = ArtifactStore(disk_dir=tmp_path)
+        _fill(theirs, 1, tag="theirs", shape=(8, 8))
+        # ``ours`` never refreshed: the foreign segment is not indexed
+        # and must survive even a gc to zero.
+        ours.gc(target_bytes=0)
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        assert fresh.get("mask_fill", _key("theirs", 0)) is not None
+
+
+class TestConcurrentReaders:
+    def test_reader_during_gc_sees_hit_or_miss_never_corrupt(self, tmp_path, recwarn):
+        values = {i: np.full((48, 48), float(i)) for i in range(6)}
+        writer = ArtifactStore(disk_dir=tmp_path)
+        for i, value in values.items():
+            writer.put("mask_fill", _key("c", i), value)
+            writer.persist()
+        reader = ArtifactStore(disk_dir=tmp_path, max_loaded_segments=1)
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                reader.clear_memory()
+                for i, expected in values.items():
+                    got = reader.get("mask_fill", _key("c", i))
+                    if got is not None and got.tobytes() != expected.tobytes():
+                        failures.append(f"entry {i} corrupted")
+                        return
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            total = writer.disk_usage()
+            writer.gc(target_bytes=total // 3)
+            time.sleep(0.1)
+        finally:
+            stop.set()
+            thread.join()
+        assert failures == []
+        # Vanished segments are silent misses — no corruption warnings.
+        assert not [w for w in recwarn if "unreadable" in str(w.message)]
+        assert reader.corrupt_segments == 0
+
+    def test_refresh_prunes_foreign_gc_and_bytes_stay_consistent(self, tmp_path):
+        writer = ArtifactStore(disk_dir=tmp_path)
+        _fill(writer, 3)
+        reader = ArtifactStore(disk_dir=tmp_path)
+        before = reader.stats["totals"]
+        assert before["disk_items"] == 3
+        writer.gc(target_bytes=0)
+        changed = reader.refresh_disk_index()
+        assert changed < 0  # net shrink reported
+        after = reader.stats["totals"]
+        assert after["disk_items"] == 0
+        assert after["disk_bytes"] == 0  # metadata left with the segments
+        assert after["lifecycle"]["disk_file_bytes"] == 0
+
+
+class TestCompaction:
+    def test_duplicate_writer_segments_compact_without_value_drift(self, tmp_path):
+        a = ArtifactStore(disk_dir=tmp_path)
+        for i in range(4):
+            a.put("mask_fill", _key("dup", i), np.full((16, 16), float(i)))
+        a.persist()
+        b = ArtifactStore(disk_dir=tmp_path)
+        for i in range(4):  # same content keys → a's segment goes dead
+            b.put("mask_fill", _key("dup", i), np.full((16, 16), float(i)))
+        b.persist()
+        b.refresh_disk_index()
+        summary = b.gc()
+        assert summary["compacted_segments"] == 1
+        assert summary["reclaimed_bytes"] > 0
+        b.clear_memory()
+        for i in range(4):
+            got = b.get("mask_fill", _key("dup", i))
+            assert got is not None and got[0, 0] == float(i)
+
+    def test_sparse_segment_rewritten_dense_preserves_bytes(self, tmp_path):
+        rng = np.random.default_rng(3)
+        values = {i: rng.standard_normal((16, 16)) for i in range(10)}
+        first = ArtifactStore(disk_dir=tmp_path)
+        for i, value in values.items():
+            first.put("forecast_window", _key("s", i), value)
+        first.persist()
+        second = ArtifactStore(disk_dir=tmp_path)
+        for i in range(8):  # supersede 8 of 10 → first segment 20% live
+            second.put("forecast_window", _key("s", i), values[i])
+        second.persist()
+        summary = second.gc()
+        assert summary["compacted_segments"] == 1
+        assert summary["compacted_entries"] == 2  # the live stragglers moved
+        second.clear_memory()
+        for i, value in values.items():
+            got = second.get("forecast_window", _key("s", i))
+            assert got is not None and got.tobytes() == value.tobytes()
+        # A fresh process over the compacted tier sees a consistent manifest.
+        fresh = ArtifactStore(disk_dir=tmp_path)
+        assert fresh.stats["totals"]["disk_items"] == 10
+
+    def test_compaction_counts_in_stats_and_metrics(self, tmp_path):
+        a = ArtifactStore(disk_dir=tmp_path)
+        _fill(a, 2, persist_each=False, tag="m")
+        a.persist()
+        b = ArtifactStore(disk_dir=tmp_path)
+        _fill(b, 2, persist_each=False, tag="m")
+        b.persist()
+        b.refresh_disk_index()
+        b.gc()
+        lifecycle = b.stats["totals"]["lifecycle"]
+        assert lifecycle["compacted_segments"] == 1
+        assert lifecycle["gc_runs"] == 1
+        names = {name for name, _labels, _value in store_metric_samples(b)}
+        assert "repro_store_compacted_segments_total" in names
+        assert "repro_store_evicted_bytes_total" in names
+        assert "repro_store_disk_file_bytes" in names
+
+
+class TestByteAccountingRegressions:
+    def test_corrupt_segment_scrub_drops_its_byte_accounting(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path)
+        store.put("mask_fill", _key("x"), np.ones((32, 32)))
+        store.persist()
+        assert store.stats["totals"]["disk_bytes"] > 0
+        segment = next(tmp_path.glob("seg-*.npz"))
+        segment.write_bytes(b"not a zip at all")
+        store.clear_memory()
+        with pytest.warns(UserWarning, match="unreadable"):
+            assert store.get("mask_fill", _key("x")) is None
+        totals = store.stats["totals"]
+        assert totals["disk_items"] == 0
+        assert totals["disk_bytes"] == 0  # meta scrubbed with the index
+
+    def test_manifest_rewrite_never_resurrects_deleted_segments(self, tmp_path):
+        writer = ArtifactStore(disk_dir=tmp_path)
+        _fill(writer, 2)
+        victim = ArtifactStore(disk_dir=tmp_path)
+        writer.gc(target_bytes=0)
+        # ``victim`` still indexes the dead segments; its next persist
+        # must not write them back into the manifest.
+        victim.put("mask_fill", _key("fresh"), np.ones(4))
+        victim.persist()
+        import json
+
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        for name in manifest["segments"]:
+            assert (tmp_path / name).exists()
+
+    def test_quota_accepts_byte_size_strings(self, tmp_path):
+        store = ArtifactStore(disk_dir=tmp_path, max_bytes="1K")
+        assert store.max_bytes == 1024
+        config = StoreConfig(disk_dir=tmp_path, max_bytes=2048)
+        assert config.build().max_bytes == 2048
+
+
+class TestDeprecatedShims:
+    """The pre-PR 10 wiring functions still work, but warn."""
+
+    @pytest.fixture(autouse=True)
+    def _isolate(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        reset_store()
+        yield
+        reset_store()
+
+    def test_configure_store_warns_and_installs(self, tmp_path):
+        from repro.engine import configure_store
+
+        with pytest.deprecated_call():
+            store = configure_store(disk_dir=tmp_path)
+        assert active_store() is store
+        assert store.disk_dir == tmp_path
+
+    def test_configure_store_adopts_instance(self):
+        from repro.engine import configure_store
+
+        mine = ArtifactStore()
+        with pytest.deprecated_call():
+            assert configure_store(store=mine) is mine
+        assert active_store() is mine
+
+    def test_get_store_warns_and_matches_active(self):
+        from repro.engine import get_store
+
+        with pytest.deprecated_call():
+            store = get_store()
+        assert store is active_store()
+
+    def test_store_active_warns_and_tracks_env(self, tmp_path, monkeypatch):
+        from repro.engine import store_active
+
+        with pytest.deprecated_call():
+            assert not store_active()
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        with pytest.deprecated_call():
+            assert store_active()
+
+    def test_resolve_store_warns_and_keeps_three_state_semantics(self, tmp_path, monkeypatch):
+        from repro.engine import resolve_store
+
+        with pytest.deprecated_call():
+            assert resolve_store(False) is None
+        with pytest.deprecated_call():
+            assert resolve_store(None) is None
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        with pytest.deprecated_call():
+            assert resolve_store(None) is not None
+
+    def test_shims_shadow_nothing_in_repo(self):
+        """The deprecated functions have no remaining in-repo callers
+        (this suite aside, which exists to cover the shims)."""
+        import subprocess
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        out = subprocess.run(
+            ["grep", "-rln", "-e", r"configure_store(", "-e", r"resolve_store(",
+             "-e", r"get_store()", "-e", r"store_active()",
+             str(root / "src"), str(root / "benchmarks")],
+            capture_output=True, text=True,
+        ).stdout
+        offenders = [
+            line for line in out.splitlines()
+            if not line.endswith("engine/store.py")  # definitions themselves
+        ]
+        assert offenders == [], f"deprecated store API still called by {offenders}"
+
+
+class TestProcessStoreMetrics:
+    def test_open_store_registers_collector(self, tmp_path):
+        from repro.obs.metrics import global_registry
+
+        try:
+            store = open_store(StoreConfig(disk_dir=tmp_path, max_bytes=1 << 20))
+            store.put("dtw_pair", _key("m"), 1.0)
+            rendered = global_registry().render()
+            assert "repro_store_quota_bytes" in rendered
+            assert "repro_store_gc_runs_total" in rendered
+        finally:
+            reset_store()
+        assert "repro_store_quota_bytes" not in global_registry().render()

@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 from repro.data.synthetic import make_dataset
-from repro.engine import ArtifactStore, configure_store, get_store, reset_store
+from repro.engine import ArtifactStore, StoreConfig, active_store, open_store, reset_store
 from repro.experiments.configs import get_scale
 from repro.experiments.parallel import (
     JOBS_ENV,
@@ -227,7 +227,7 @@ def test_workers_share_one_disk_store(tiny, tmp_path, monkeypatch):
     writer_pids = {name.split("-")[1] for name in segments}
     assert os.getpid() not in {int(p) for p in writer_pids}  # written by workers
     # ...and the parent's store indexed them without a restart.
-    assert get_store().stats["totals"]["disk_items"] > 0
+    assert active_store(True).stats["totals"]["disk_items"] > 0
 
     # A second parallel sweep over the same grid reuses the artifacts and
     # reproduces the metrics bit-for-bit (store hits are bit-exact).
@@ -287,7 +287,7 @@ def test_run_matrix_skips_persist_without_service(tiny, tmp_path, monkeypatch):
         return original(self)
 
     monkeypatch.setattr(ArtifactStore, "persist", counting_persist)
-    configure_store(disk_dir=tmp_path / "persist-count")
+    open_store(StoreConfig(disk_dir=tmp_path / "persist-count"))
 
     # Naive model, no service: nothing store-backed happens in the sweep
     # loop itself, so run_matrix must not issue the old unconditional
